@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 2 (training-time breakdown)."""
+
+from repro.experiments.fig02_breakdown import measure_vgg_breakdown, run_breakdowns
+from repro.experiments.report import format_table
+
+
+def test_fig02_breakdown(benchmark, once, capsys):
+    breakdowns = once(benchmark, run_breakdowns)
+    measured = measure_vgg_breakdown(iterations=3)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["Group", "Idle", "Memcpy", "Compute", "Comm"],
+                [
+                    (b.group, f"{b.idle:.0%}", f"{b.memcpy:.0%}", f"{b.compute:.0%}", f"{b.comm:.0%}")
+                    for b in breakdowns
+                ],
+                title="Figure 2 — training-time breakdown (synthetic groups)",
+            )
+        )
+        print(
+            "validated on simulator: vgg19-dp "
+            f"idle {measured.idle_fraction:.0%} / "
+            f"memcpy {measured.memcpy_fraction:.0%} / "
+            f"compute {measured.compute_fraction:.0%} / "
+            f"comm {measured.comm_fraction:.0%}"
+        )
+    assert all(b.comm >= 0.10 for b in breakdowns)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 3 (cross-rack ratio vs job size)."""
+
+from repro.experiments.fig03_crossrack import DEFAULT_JOB_SIZES, run_curves
+from repro.experiments.report import format_table
+
+
+def test_fig03_crossrack(benchmark, once, capsys):
+    points = once(benchmark, run_curves, DEFAULT_JOB_SIZES, trials=1500, seed=7)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["Job size (GPUs)", "(a) 2 hosts/rack", "(b) 4 hosts/rack"],
+                [
+                    (p.job_size, f"{p.ratio_2hosts:.2f}x", f"{p.ratio_4hosts:.2f}x")
+                    for p in points
+                ],
+                title="Figure 3 — expected cross-rack ratio of random rings",
+            )
+        )
+    # paper shape: monotone growth toward 2x (panel a) and 4x (panel b)
+    ratios_a = [p.ratio_2hosts for p in points]
+    ratios_b = [p.ratio_4hosts for p in points]
+    assert ratios_a == sorted(ratios_a)
+    assert ratios_b == sorted(ratios_b)
+    assert 1.8 <= ratios_a[-1] <= 2.0
+    assert 3.5 <= ratios_b[-1] <= 4.0

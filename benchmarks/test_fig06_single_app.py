@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 6 (single-app algorithm bandwidth).
+
+Reproduces all four panels: AllGather/AllReduce x 4-GPU/8-GPU, four
+systems, the full 32KB..512MB size axis.
+"""
+
+from repro.experiments.fig06_single_app import as_tables, run_fig06
+from repro.experiments.report import format_table
+
+
+def test_fig06_single_app(benchmark, once, capsys):
+    results = once(benchmark, run_fig06, trials=8, iters=1)
+    tables = as_tables(results)
+    with capsys.disabled():
+        print()
+        for (setup, kind), table in sorted(
+            tables.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        ):
+            print(
+                format_table(
+                    table[0],
+                    table[1:],
+                    title=f"Figure 6 — {kind} algorithm bandwidth (GB/s), {setup}",
+                )
+            )
+            print()
+
+    def mean(setup, kind, system, size):
+        for r in results:
+            if (r.setup, r.kind, r.system, r.size) == (setup, kind, system, size):
+                return r.stat.mean
+        raise KeyError
+
+    from repro.collectives.types import Collective
+    from repro.netsim.units import KB, MB
+
+    # paper-shape assertions on the 8-GPU AllReduce panel
+    big = 512 * MB
+    ar = Collective.ALL_REDUCE
+    assert mean("8gpu", ar, "mccs", big) > mean("8gpu", ar, "nccl_or", big)
+    assert mean("8gpu", ar, "nccl_or", big) > mean("8gpu", ar, "nccl", big)
+    assert mean("8gpu", ar, "mccs", big) / mean("8gpu", ar, "nccl", big) > 2.0
+    # small-message penalty of the service datapath
+    small = 512 * KB
+    assert mean("4gpu", ar, "mccs_nofa", small) < mean("4gpu", ar, "nccl_or", small)
+    # ...which vanishes by 8 MB-512 MB (within a few percent)
+    assert mean("4gpu", ar, "mccs_nofa", big) >= 0.95 * mean("4gpu", ar, "nccl_or", big)

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 9 (training-workload JCT under QoS)."""
+
+from repro.experiments.fig09_qos import SOLUTIONS, run_fig09
+from repro.experiments.report import format_table
+
+
+def test_fig09_qos(benchmark, once, capsys):
+    results, ffa_means = once(benchmark, run_fig09, trials=3)
+    by_solution = {}
+    for r in results:
+        by_solution.setdefault(r.solution, {})[r.app_id] = r.stat
+    rows = []
+    for solution in SOLUTIONS:
+        stats = by_solution[solution]
+        rows.append(
+            [solution.upper()]
+            + [f"{stats[a].mean / ffa_means[a]:.2f}" for a in ("A", "B", "C")]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["Solution", "VGG (A)", "GPT (B)", "GPT (C)"],
+                rows,
+                title="Figure 9 — JCT normalized to FFA (lower is better)",
+            )
+        )
+
+    def norm(solution, app):
+        return by_solution[solution][app].mean / ffa_means[app]
+
+    # ECMP degrades every workload (paper: 18/22/14% slower)
+    for app in ("A", "B", "C"):
+        assert norm("ecmp", app) > 1.05
+    # PFA prioritizes A (paper: 13% over FFA, 34% over ECMP)
+    assert norm("pfa", "A") <= 1.02
+    assert by_solution["pfa"]["A"].mean < by_solution["ecmp"]["A"].mean
+    # PFA+TS prioritizes B over C without affecting A (paper: B +16%)
+    assert norm("pfa+ts", "B") < norm("pfa", "B")
+    assert abs(norm("pfa+ts", "A") - norm("pfa", "A")) < 0.02
+    assert norm("pfa+ts", "C") > norm("pfa", "C")

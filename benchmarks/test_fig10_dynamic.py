@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 10 (throughput under dynamic policies)."""
+
+from repro.experiments.fig10_dynamic import run_fig10
+from repro.experiments.report import format_table
+
+
+def test_fig10_dynamic(benchmark, once, capsys):
+    timeline = once(benchmark, run_fig10)
+    normalized = timeline.normalized()
+    apps = sorted({p.app_id for p in timeline.throughput})
+    rows = []
+    for phase, start, stop in timeline.phases:
+        rows.append(
+            [f"{phase} [{start:.0f}-{stop:.0f}s]"]
+            + [
+                f"{normalized[(a, phase)]:.2f}" if (a, phase) in normalized else "-"
+                for a in apps
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["Phase"] + apps,
+                rows,
+                title="Figure 10 — training throughput normalized to FFA",
+            )
+        )
+    # the paper's timeline story:
+    assert normalized[("A", "A alone")] > normalized[("A", "A+B (FFA)")]
+    assert normalized[("A", "A+B (FFA)")] >= normalized[("A", "A+B+C (FFA)")] * 0.98
+    assert normalized[("A", "PFA(A)")] > normalized[("A", "A+B+C (FFA)")]  # +13%
+    assert normalized[("B", "PFA+TS(B)")] > normalized[("B", "PFA(A)")]  # +18%
+    c_ts = normalized.get(("C", "PFA+TS(B)"))
+    assert c_ts is None or c_ts < normalized[("C", "PFA(A)")]

@@ -1,0 +1,5 @@
+"""Baseline collective libraries the paper compares against."""
+
+from .nccl import CollectiveOp, NcclCommunicator, default_channels
+
+__all__ = ["CollectiveOp", "NcclCommunicator", "default_channels"]

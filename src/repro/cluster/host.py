@@ -1,0 +1,76 @@
+"""Hosts and NICs of the simulated cluster.
+
+A :class:`Host` groups GPUs and NICs, owns the host-local IPC registry and
+knows its fabric endpoints.  The GPU->NIC affinity is the testbed's: GPU k
+of a host sends inter-host traffic through NIC k (the paper emulates "two
+50Gbps virtual NICs (one per GPU)" by rate-limiting IB traffic classes;
+our fabric gives each virtual NIC its own capacitated link instead, which
+is equivalent at the fluid level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..netsim.fabric import local_link_id, nic_node
+from .gpu import GpuDevice
+from .ipc import IpcRegistry
+
+
+@dataclass
+class Nic:
+    """One (possibly virtual) NIC: an endpoint node in the fabric."""
+
+    host_id: int
+    index: int
+    gbps: float
+
+    @property
+    def node_id(self) -> str:
+        return nic_node(self.host_id, self.index)
+
+
+@dataclass
+class Host:
+    """A server with GPUs and NICs.
+
+    Attributes:
+        host_id: Cluster-wide host index.
+        rack: Rack (leaf) index, derived from the fabric spec.
+        gpus: The host's GPUs, ordered by local index.
+        nics: The host's NICs, ordered by index.
+        sysfs_visible: Whether guests can read the PCIe topology; public
+            cloud virtualization typically hides it (§4.2), which is why
+            a tenant-side NCCL cannot optimize the intra-host strategy.
+    """
+
+    host_id: int
+    rack: int
+    gpus: List[GpuDevice] = field(default_factory=list)
+    nics: List[Nic] = field(default_factory=list)
+    sysfs_visible: bool = False
+    ipc: IpcRegistry = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.ipc = IpcRegistry(self.host_id)
+
+    @property
+    def local_link(self) -> str:
+        """Link id of the intra-host (NVLink/shm) channel."""
+        return local_link_id(self.host_id)
+
+    def gpu(self, local_index: int) -> GpuDevice:
+        return self.gpus[local_index]
+
+    def nic_for_gpu(self, gpu: GpuDevice) -> Nic:
+        """GPU->NIC affinity: GPU k uses NIC k (mod NIC count)."""
+        if gpu.host_id != self.host_id:
+            raise ValueError(f"GPU {gpu.global_id} is not on host {self.host_id}")
+        return self.nics[gpu.local_index % len(self.nics)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Host(id={self.host_id}, rack={self.rack}, "
+            f"gpus={len(self.gpus)}, nics={len(self.nics)})"
+        )

@@ -1,0 +1,63 @@
+"""Collective algorithms: ring and tree schedules, data planes, costs.
+
+The data planes move real numpy bytes between ring/tree neighbours (so
+correctness is testable bit-for-bit); the traffic models predict per-edge
+byte counts that the fluid network simulator turns into completion times.
+"""
+
+from .bandwidth import algorithm_bandwidth, bus_bandwidth, busbw_factor
+from .chunking import chunk_bounds, chunk_for_step, ring_neighbors
+from .cost_model import (
+    LatencyModel,
+    MCCS_LATENCY,
+    NCCL_LATENCY,
+    effective_bandwidth,
+    ring_allreduce_cost,
+    select_ring_or_tree,
+    tree_allreduce_cost,
+)
+from .ring import RingDataPlane, RingSchedule, edge_traffic, identity_ring, steps_for
+from .tree import (
+    DoubleTreeDataPlane,
+    TreeDataPlane,
+    TreeSchedule,
+    binary_tree,
+    double_binary_trees,
+    double_tree_allreduce_traffic,
+    tree_allreduce_traffic,
+    tree_steps,
+)
+from .types import Collective, ReduceOp, input_bytes, reduce_many, validate_world
+
+__all__ = [
+    "Collective",
+    "DoubleTreeDataPlane",
+    "LatencyModel",
+    "MCCS_LATENCY",
+    "NCCL_LATENCY",
+    "ReduceOp",
+    "RingDataPlane",
+    "RingSchedule",
+    "TreeDataPlane",
+    "TreeSchedule",
+    "algorithm_bandwidth",
+    "binary_tree",
+    "bus_bandwidth",
+    "busbw_factor",
+    "chunk_bounds",
+    "chunk_for_step",
+    "double_binary_trees",
+    "double_tree_allreduce_traffic",
+    "edge_traffic",
+    "effective_bandwidth",
+    "identity_ring",
+    "input_bytes",
+    "reduce_many",
+    "ring_allreduce_cost",
+    "ring_neighbors",
+    "select_ring_or_tree",
+    "steps_for",
+    "tree_allreduce_traffic",
+    "tree_steps",
+    "validate_world",
+]

@@ -1,0 +1,45 @@
+"""Chunk partitioning helpers shared by the ring algorithms.
+
+Ring algorithms divide each buffer into ``world`` contiguous chunks; these
+helpers compute the (possibly uneven) chunk boundaries and the standard
+ring step indexing ``chunk = (rank - step) mod world``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def chunk_bounds(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``total`` elements into ``parts`` contiguous (start, end) runs.
+
+    Earlier chunks absorb the remainder, matching the convention of
+    dividing a buffer as evenly as possible:
+
+    >>> chunk_bounds(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    base, extra = divmod(total, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def chunk_for_step(rank_pos: int, step: int, world: int) -> int:
+    """Index of the chunk rank at ring position ``rank_pos`` handles at
+    reduce-scatter step ``step`` (0-based), following the classic
+    ring-AllReduce schedule."""
+    return (rank_pos - step) % world
+
+
+def ring_neighbors(position: int, world: int) -> Tuple[int, int]:
+    """(previous, next) ring positions of ``position``."""
+    return (position - 1) % world, (position + 1) % world

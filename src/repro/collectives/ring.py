@@ -1,0 +1,327 @@
+"""Ring collective algorithms.
+
+Two complementary views of the same algorithm are provided, and tests
+cross-check them against each other:
+
+* the **data plane** (:class:`RingDataPlane`) executes the classic chunked
+  ring schedules on real numpy buffers, moving data only between ring
+  neighbours, and records how many bytes crossed each directed ring edge;
+* the **traffic model** (:func:`edge_traffic`) predicts those per-edge byte
+  counts in closed form; the fluid simulator turns them into flows.
+
+The MCCS prototype ports NCCL's ring AllReduce and AllGather kernels (§5);
+we implement those plus ReduceScatter, Broadcast and Reduce, which the
+paper notes are straightforward extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .chunking import chunk_bounds
+from .types import Collective, ReduceOp, validate_world
+
+
+@dataclass(frozen=True)
+class RingSchedule:
+    """A ring over ``world`` ranks.
+
+    ``order[i]`` is the rank sitting at ring position ``i``; data moves
+    from position ``i`` to position ``(i+1) % world``.
+    """
+
+    order: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        world = len(self.order)
+        validate_world(world)
+        if sorted(self.order) != list(range(world)):
+            raise ValueError(f"order must be a permutation of 0..{world - 1}")
+
+    @property
+    def world(self) -> int:
+        return len(self.order)
+
+    def position_of(self, rank: int) -> int:
+        return self.order.index(rank)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Directed (src_rank, dst_rank) pairs, one per ring edge."""
+        n = self.world
+        return [
+            (self.order[i], self.order[(i + 1) % n]) for i in range(n)
+        ]
+
+    def reversed(self) -> "RingSchedule":
+        """The same ring traversed in the opposite direction.
+
+        This is the reconfiguration applied in the Figure 7 showcase:
+        "MCCS enables the application to recover its collective
+        performance by transparently reversing the ring".
+        """
+        return RingSchedule(tuple(reversed(self.order)))
+
+
+def identity_ring(world: int) -> RingSchedule:
+    """Ring in rank order — what NCCL builds from user-specified ranks."""
+    return RingSchedule(tuple(range(world)))
+
+
+# ---------------------------------------------------------------------------
+# traffic model
+# ---------------------------------------------------------------------------
+def steps_for(kind: Collective, world: int) -> int:
+    """Number of pipeline steps (latency hops) the ring algorithm takes."""
+    validate_world(world)
+    if kind is Collective.ALL_REDUCE:
+        return 2 * (world - 1)
+    return world - 1
+
+
+def edge_traffic(
+    kind: Collective,
+    out_bytes: int,
+    world: int,
+    root_position: int = 0,
+) -> List[float]:
+    """Bytes carried by each directed ring edge.
+
+    Index ``i`` is the edge from ring position ``i`` to ``i+1``.  Sizes
+    follow the output-buffer convention (see
+    :func:`repro.collectives.types.input_bytes`).
+    """
+    validate_world(world)
+    n = world
+    if kind is Collective.ALL_REDUCE:
+        per_edge = 2.0 * (n - 1) / n * out_bytes
+        return [per_edge] * n
+    if kind is Collective.ALL_GATHER:
+        per_edge = (n - 1) / n * out_bytes
+        return [per_edge] * n
+    if kind is Collective.REDUCE_SCATTER:
+        # out_bytes is the per-rank output; total vector is n*out_bytes and
+        # each edge carries (n-1)/n of it.
+        per_edge = float((n - 1) * out_bytes)
+        return [per_edge] * n
+    if kind in (Collective.BROADCAST, Collective.REDUCE):
+        # Pipelined chain of n-1 hops; the edge closing the ring is unused.
+        traffic = [float(out_bytes)] * n
+        if kind is Collective.BROADCAST:
+            unused = (root_position - 1) % n  # edge into the root
+        else:
+            unused = root_position  # edge out of the root
+        traffic[unused] = 0.0
+        return traffic
+    raise ValueError(f"unsupported collective {kind}")
+
+
+# ---------------------------------------------------------------------------
+# data plane
+# ---------------------------------------------------------------------------
+class RingDataPlane:
+    """Chunk-level execution of ring collectives on numpy buffers.
+
+    The executor is deliberately written as a sequence of neighbour-only
+    transfers (no global shortcuts) so that the byte counts it records are
+    a genuine check of :func:`edge_traffic`.
+    """
+
+    def __init__(self, schedule: RingSchedule) -> None:
+        self.schedule = schedule
+        self.world = schedule.world
+        # bytes moved over edge position i -> i+1
+        self.edge_bytes: List[int] = [0] * self.world
+
+    # -- helpers ----------------------------------------------------------
+    def _send(self, src_pos: int, payload: np.ndarray) -> int:
+        """Account for a transfer from ``src_pos`` to the next position."""
+        self.edge_bytes[src_pos] += payload.nbytes
+        return (src_pos + 1) % self.world
+
+    @staticmethod
+    def _check_uniform(arrays: Sequence[np.ndarray]) -> None:
+        first = arrays[0]
+        for arr in arrays[1:]:
+            if arr.shape != first.shape or arr.dtype != first.dtype:
+                raise ValueError("all rank buffers must match in shape and dtype")
+
+    # -- collectives -------------------------------------------------------
+    def all_reduce(
+        self, inputs: Sequence[np.ndarray], op: ReduceOp = ReduceOp.SUM
+    ) -> List[np.ndarray]:
+        """Ring AllReduce: reduce-scatter phase then allgather phase."""
+        if len(inputs) != self.world:
+            raise ValueError("one input per rank required")
+        self._check_uniform(inputs)
+        n = self.world
+        order = self.schedule.order
+        work = [inputs[r].copy() for r in range(n)]  # indexed by rank
+        bounds = chunk_bounds(inputs[0].size, n)
+
+        def chunk(rank: int, c: int) -> np.ndarray:
+            lo, hi = bounds[c]
+            return work[rank][lo:hi]
+
+        # Reduce-scatter: after step s = n-2, position p holds the fully
+        # reduced ring-chunk (p+1) mod n.
+        for s in range(n - 1):
+            staged: List[Tuple[int, int, np.ndarray]] = []
+            for p in range(n):
+                c = (p - s) % n
+                payload = chunk(order[p], c).copy()
+                dst = self._send(p, payload)
+                staged.append((order[dst], c, payload))
+            for dst_rank, c, payload in staged:
+                lo, hi = bounds[c]
+                work[dst_rank][lo:hi] = op.combine(work[dst_rank][lo:hi], payload)
+        # AllGather: position p starts by sending its reduced chunk (p+1).
+        for s in range(n - 1):
+            staged = []
+            for p in range(n):
+                c = (p + 1 - s) % n
+                payload = chunk(order[p], c).copy()
+                dst = self._send(p, payload)
+                staged.append((order[dst], c, payload))
+            for dst_rank, c, payload in staged:
+                lo, hi = bounds[c]
+                work[dst_rank][lo:hi] = payload
+        return work
+
+    def all_gather(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Ring AllGather; output block ``r`` holds rank ``r``'s input."""
+        if len(inputs) != self.world:
+            raise ValueError("one input per rank required")
+        self._check_uniform(inputs)
+        n = self.world
+        order = self.schedule.order
+        block = inputs[0].size
+        outputs = [
+            np.empty(block * n, dtype=inputs[0].dtype) for _ in range(n)
+        ]
+
+        def store(rank: int, owner_rank: int, payload: np.ndarray) -> None:
+            outputs[rank][owner_rank * block : (owner_rank + 1) * block] = payload
+
+        for p in range(n):
+            store(order[p], order[p], inputs[order[p]].ravel())
+        # At step s, position p forwards the block originated by the rank
+        # at position (p - s) mod n.
+        for s in range(n - 1):
+            staged: List[Tuple[int, int, np.ndarray]] = []
+            for p in range(n):
+                owner = order[(p - s) % n]
+                payload = outputs[order[p]][
+                    owner * block : (owner + 1) * block
+                ].copy()
+                dst = self._send(p, payload)
+                staged.append((order[dst], owner, payload))
+            for dst_rank, owner, payload in staged:
+                store(dst_rank, owner, payload)
+        return outputs
+
+    def reduce_scatter(
+        self, inputs: Sequence[np.ndarray], op: ReduceOp = ReduceOp.SUM
+    ) -> List[np.ndarray]:
+        """Ring ReduceScatter; rank ``r`` outputs reduced block ``r``.
+
+        Inputs must have size divisible by ``world``; block ``r`` of each
+        input contributes to rank ``r``'s output.
+        """
+        if len(inputs) != self.world:
+            raise ValueError("one input per rank required")
+        self._check_uniform(inputs)
+        n = self.world
+        order = self.schedule.order
+        if inputs[0].size % n:
+            raise ValueError("input size must be divisible by world")
+        block = inputs[0].size // n
+        work = [inputs[r].copy().ravel() for r in range(n)]
+
+        def ring_chunk(rank: int, c: int) -> np.ndarray:
+            # ring-chunk c holds the user block of the rank at position c,
+            # so the final chunk each position keeps is its own rank's.
+            owner = order[c]
+            return work[rank][owner * block : (owner + 1) * block]
+
+        # Shifted schedule: send ring-chunk (p - s - 1); after n-1 steps
+        # position p holds its fully reduced ring-chunk p.
+        for s in range(n - 1):
+            staged: List[Tuple[int, int, np.ndarray]] = []
+            for p in range(n):
+                c = (p - s - 1) % n
+                payload = ring_chunk(order[p], c).copy()
+                dst = self._send(p, payload)
+                staged.append((dst, c, payload))
+            for dst_pos, c, payload in staged:
+                target = ring_chunk(order[dst_pos], c)
+                target[:] = op.combine(target, payload)
+        return [work[r][r * block : (r + 1) * block].copy() for r in range(n)]
+
+    def broadcast(self, inputs: Sequence[np.ndarray], root: int) -> List[np.ndarray]:
+        """Pipelined ring broadcast from ``root``."""
+        if len(inputs) != self.world:
+            raise ValueError("one buffer per rank required")
+        self._check_uniform(inputs)
+        n = self.world
+        order = self.schedule.order
+        outputs = [inputs[r].copy() for r in range(n)]
+        p = self.schedule.position_of(root)
+        payload = inputs[root].copy()
+        for _ in range(n - 1):
+            dst = self._send(p, payload)
+            outputs[order[dst]] = payload.copy()
+            p = dst
+        return outputs
+
+    def reduce(
+        self,
+        inputs: Sequence[np.ndarray],
+        root: int,
+        op: ReduceOp = ReduceOp.SUM,
+    ) -> List[np.ndarray]:
+        """Pipelined ring reduce toward ``root``.
+
+        Non-root outputs are returned unchanged (NCCL leaves recvbuff of
+        non-roots unspecified; we keep the input for determinism).
+        """
+        if len(inputs) != self.world:
+            raise ValueError("one input per rank required")
+        self._check_uniform(inputs)
+        n = self.world
+        order = self.schedule.order
+        root_pos = self.schedule.position_of(root)
+        # Accumulate around the ring ending at root: start at the position
+        # after root, walk forward reducing as we go.
+        p = (root_pos + 1) % n
+        acc = inputs[order[p]].copy()
+        for _ in range(n - 1):
+            dst = self._send(p, acc)
+            acc = op.combine(inputs[order[dst]], acc)
+            p = dst
+        outputs = [inputs[r].copy() for r in range(n)]
+        outputs[root] = acc
+        return outputs
+
+    def run(
+        self,
+        kind: Collective,
+        inputs: Sequence[np.ndarray],
+        *,
+        op: ReduceOp = ReduceOp.SUM,
+        root: int = 0,
+    ) -> List[np.ndarray]:
+        """Dispatch by collective kind."""
+        if kind is Collective.ALL_REDUCE:
+            return self.all_reduce(inputs, op)
+        if kind is Collective.ALL_GATHER:
+            return self.all_gather(inputs)
+        if kind is Collective.REDUCE_SCATTER:
+            return self.reduce_scatter(inputs, op)
+        if kind is Collective.BROADCAST:
+            return self.broadcast(inputs, root)
+        if kind is Collective.REDUCE:
+            return self.reduce(inputs, root, op)
+        raise ValueError(f"unsupported collective {kind}")

@@ -1,0 +1,358 @@
+"""Service-side communicators and in-flight collective instances.
+
+A :class:`ServiceCommunicator` is the MCCS service's view of one tenant
+communicator: the rank->GPU mapping, the current provider-chosen
+:class:`~repro.core.strategy.CollectiveStrategy`, the single service-managed
+stream that serializes the communicator's collectives (§4.1), and the
+per-strategy-version connection tables.
+
+A :class:`CollectiveInstance` is one issued collective.  Crucially, its
+traffic is injected **per rank**: each rank's proxy engine launches its
+own share of the flows using *that proxy's* current strategy version.
+This is what makes the Figure 4 synchronization hazard expressible — with
+the barrier disabled, rank 0 can launch collective ``seq=1`` on the old
+ring while ranks 1 and 2 launch it on the new one, and the instance is
+flagged inconsistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cluster.gpu import AsyncOp, Event, GpuDevice, Stream
+from ..cluster.specs import Cluster
+from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
+from ..collectives.ring import RingSchedule  # noqa: F401  (re-export for tests)
+from ..collectives.types import Collective, ReduceOp, validate_world
+from ..netsim.errors import ReconfigurationError
+from ..netsim.routing import RouteIdSelector, RouteMap
+from ..transport.connections import ConnectionTable, connection_key
+from .strategy import CollectiveStrategy
+from .tracing import CommTrace
+
+_comm_counter = itertools.count()
+
+
+class VersionedDataPath:
+    """Connection tables per strategy version for one communicator.
+
+    Reconfiguration tears down the old version's connections and
+    establishes new ones (§4.2); tables are created lazily on first use of
+    a version and retired once no in-flight collective references them.
+    """
+
+    def __init__(self, cluster: Cluster, job_id: str, ecmp_seed: int) -> None:
+        self.cluster = cluster
+        self.job_id = job_id
+        self.ecmp_seed = ecmp_seed
+        self._tables: Dict[int, ConnectionTable] = {}
+        self._selectors: Dict[int, RouteIdSelector] = {}
+        self._inflight: Dict[int, int] = {}
+        self.teardowns = 0
+
+    def _build(
+        self, strategy: CollectiveStrategy, gpus: Sequence[GpuDevice]
+    ) -> None:
+        version = strategy.version
+        discriminator = f"{self.job_id}/v{version}"
+        route_map = RouteMap()
+        for (src_rank, dst_rank, channel), route_id in strategy.route_map().items():
+            key = connection_key(
+                self.cluster,
+                gpus[src_rank],
+                gpus[dst_rank],
+                channel,
+                discriminator,
+            )
+            route_map.assign(key, route_id)
+        selector = RouteIdSelector(
+            route_map, fallback_seed=self.ecmp_seed + version
+        )
+        self._selectors[version] = selector
+        self._tables[version] = ConnectionTable(self.cluster, discriminator)
+        self._inflight[version] = 0
+
+    def table_for(
+        self, strategy: CollectiveStrategy, gpus: Sequence[GpuDevice]
+    ) -> Tuple[ConnectionTable, RouteIdSelector]:
+        if strategy.version not in self._tables:
+            self._build(strategy, gpus)
+        return self._tables[strategy.version], self._selectors[strategy.version]
+
+    def acquire(self, version: int) -> None:
+        self._inflight[version] = self._inflight.get(version, 0) + 1
+
+    def release(self, version: int, current_version: int) -> None:
+        self._inflight[version] = self._inflight.get(version, 0) - 1
+        if self._inflight[version] <= 0 and version < current_version:
+            self.retire(version)
+
+    def retire_stale(self, current_version: int) -> None:
+        """Tear down tables of superseded versions with nothing in flight.
+
+        Called when a reconfiguration commits, so connections of the old
+        configuration are closed as soon as the last collective using
+        them drains (§4.2).
+        """
+        for version in list(self._tables):
+            if version < current_version and self._inflight.get(version, 0) <= 0:
+                self.retire(version)
+
+    def retire(self, version: int) -> None:
+        table = self._tables.pop(version, None)
+        if table is not None:
+            table.teardown()
+            self.teardowns += 1
+        self._selectors.pop(version, None)
+        self._inflight.pop(version, None)
+
+    def live_versions(self) -> List[int]:
+        return sorted(self._tables)
+
+
+@dataclass
+class CollectiveInstance:
+    """One issued collective and its per-rank launch state."""
+
+    comm: "ServiceCommunicator"
+    seq: int
+    kind: Collective
+    out_bytes: int
+    reduce_op: ReduceOp = ReduceOp.SUM
+    root: int = 0
+    issue_time: float = 0.0
+    dtype: str = "float32"
+    send_views: Optional[List[np.ndarray]] = None
+    recv_views: Optional[List[np.ndarray]] = None
+    on_complete: Optional[Callable[["CollectiveInstance", float], None]] = None
+    # filled during execution
+    kernel: Optional[AsyncOp] = None
+    done_event: Optional[Event] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    rank_versions: Dict[int, int] = field(default_factory=dict)
+    _launched: Set[int] = field(default_factory=set)
+    _pending_flows: int = 0
+    _injected_ranks: Set[int] = field(default_factory=set)
+
+    @property
+    def world(self) -> int:
+        return self.comm.world
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def consistent(self) -> bool:
+        """True when every rank launched with the same strategy version."""
+        return len(set(self.rank_versions.values())) <= 1
+
+    def duration(self) -> float:
+        if self.end_time is None:
+            raise ValueError(f"collective seq={self.seq} still in flight")
+        return self.end_time - self.issue_time
+
+    # ------------------------------------------------------------------
+    def _context(self, strategy: CollectiveStrategy, rank: int) -> "AlgorithmContext":
+        from .algorithms import AlgorithmContext
+
+        return AlgorithmContext(
+            kind=self.kind,
+            out_bytes=self.out_bytes,
+            world=self.world,
+            rank=rank,
+            root=self.root,
+            ring_order=strategy.ring.order,
+            channels=strategy.channels,
+        )
+
+    def rank_launch(self, rank: int, strategy: CollectiveStrategy) -> None:
+        """Called by rank ``rank``'s proxy engine when it launches this
+        collective under ``strategy``.  Injects that rank's flows after
+        the fixed datapath latency."""
+        from .algorithms import get_algorithm
+
+        if rank in self._launched:
+            raise ReconfigurationError(
+                f"rank {rank} double-launched collective seq={self.seq}"
+            )
+        self._launched.add(rank)
+        self.rank_versions[rank] = strategy.version
+        comm = self.comm
+        comm.datapath.acquire(strategy.version)
+        algorithm = get_algorithm(strategy.algorithm)
+        fixed = comm.latency.collective_latency(
+            algorithm.steps(self.kind, self.world)
+        )
+        comm.sim.call_in(fixed, lambda: self._inject_rank(rank, strategy))
+
+    def _inject_rank(self, rank: int, strategy: CollectiveStrategy) -> None:
+        from .algorithms import get_algorithm
+
+        comm = self.comm
+        if self.start_time is None:
+            self.start_time = comm.sim.now
+            if comm.trace_record:
+                rec = comm.trace.records[self.seq]
+                rec.start_time = comm.sim.now
+        table, selector = comm.datapath.table_for(strategy, comm.gpus)
+        algorithm = get_algorithm(strategy.algorithm)
+        transfers = algorithm.rank_transfers(self._context(strategy, rank))
+        injected_any = False
+        src = comm.gpus[rank]
+        for transfer in transfers:
+            if transfer.nbytes <= 0:
+                continue
+            dst = comm.gpus[transfer.dst_rank]
+            conn = table.establish_edge(src, dst, transfer.channel, selector)
+            flow = comm.sim.add_flow(
+                transfer.nbytes,
+                conn.path,
+                job_id=comm.app_id,
+                tags={
+                    "comm": comm.comm_id,
+                    "seq": self.seq,
+                    "kind": self.kind.value,
+                    "channel": transfer.channel,
+                    "rank": rank,
+                },
+                on_complete=lambda _f, _t: self._flow_done(),
+            )
+            self._pending_flows += 1
+            injected_any = True
+            if comm.gate is not None:
+                comm.gate.register(flow)
+        self._injected_ranks.add(rank)
+        comm.datapath.release(strategy.version, comm.strategy.version)
+        if not injected_any:
+            self._maybe_complete()
+
+    def _flow_done(self) -> None:
+        self._pending_flows -= 1
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if (
+            self.end_time is None
+            and len(self._injected_ranks) == self.world
+            and self._pending_flows == 0
+        ):
+            self._finish()
+
+    def _finish(self) -> None:
+        comm = self.comm
+        self.end_time = comm.sim.now
+        if not self.consistent:
+            comm.inconsistent_collectives += 1
+            if comm.strict_consistency:
+                raise ReconfigurationError(
+                    f"collective seq={self.seq} launched with mixed strategy "
+                    f"versions {sorted(set(self.rank_versions.values()))}"
+                )
+        if self.send_views is not None and self.consistent:
+            from .algorithms import get_algorithm
+
+            version = next(iter(self.rank_versions.values()))
+            strategy = comm.strategy_history[version]
+            algorithm = get_algorithm(strategy.algorithm)
+            outputs = algorithm.run_data(
+                self._context(strategy, rank=0), self.send_views, self.reduce_op
+            )
+            if self.recv_views is not None:
+                for dst, src in zip(self.recv_views, outputs):
+                    np.copyto(dst, src.reshape(dst.shape))
+        if comm.trace_record:
+            comm.trace.records[self.seq].end_time = self.end_time
+        # Retire from the active set before waking anyone: completion
+        # callbacks may immediately destroy the communicator.
+        comm.on_instance_finished(self)
+        if self.kernel is not None:
+            self.kernel.complete()
+        if self.on_complete is not None:
+            self.on_complete(self, self.end_time)
+
+
+class ServiceCommunicator:
+    """The MCCS service's state for one tenant communicator."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        app_id: str,
+        gpus: Sequence[GpuDevice],
+        strategy: CollectiveStrategy,
+        *,
+        latency: LatencyModel = MCCS_LATENCY,
+        ecmp_seed: int = 0,
+        gate=None,
+        trace: Optional[CommTrace] = None,
+        strict_consistency: bool = False,
+    ) -> None:
+        validate_world(len(gpus))
+        if strategy.world != len(gpus):
+            raise ValueError("strategy world does not match gpu count")
+        self.comm_id = next(_comm_counter)
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.app_id = app_id
+        self.gpus = list(gpus)
+        self.world = len(gpus)
+        self.latency = latency
+        self.gate = gate
+        self.strategy = strategy
+        self.strategy_history: Dict[int, CollectiveStrategy] = {
+            strategy.version: strategy
+        }
+        self.datapath = VersionedDataPath(cluster, f"{app_id}/comm{self.comm_id}", ecmp_seed)
+        #: One service-managed stream per communicator (§4.1).
+        self.stream = Stream(cluster.sim, name=f"comm{self.comm_id}.stream")
+        #: Communicator-level completion event created at init time and
+        #: shared with the shim (its per-op incarnations are fresh events;
+        #: see repro.core.sync for the snapshot-semantics discussion).
+        self.comm_event = Event(name=f"comm{self.comm_id}.done")
+        self.next_seq = 0
+        self.instances: List[CollectiveInstance] = []
+        self.active_instances: Set[int] = set()
+        self.inconsistent_collectives = 0
+        self.strict_consistency = strict_consistency
+        self.trace = trace if trace is not None else CommTrace(self.comm_id, app_id)
+        self.trace_record = True
+        self.destroyed = False
+
+    # ------------------------------------------------------------------
+    def commit_strategy(self, strategy: CollectiveStrategy) -> None:
+        """Record a new strategy version (called once a reconfiguration's
+        barrier has resolved; proxies switch independently)."""
+        self.strategy = strategy
+        self.strategy_history[strategy.version] = strategy
+        self.datapath.retire_stale(strategy.version)
+
+    def ranks_by_host(self) -> Dict[int, List[int]]:
+        by_host: Dict[int, List[int]] = {}
+        for rank, gpu in enumerate(self.gpus):
+            by_host.setdefault(gpu.host_id, []).append(rank)
+        return by_host
+
+    def on_instance_finished(self, instance: CollectiveInstance) -> None:
+        self.active_instances.discard(instance.seq)
+
+    def describe(self) -> Dict[str, object]:
+        """Management-API snapshot consumed by the centralized controller
+        (§4.3: the set of GPUs/hosts per communicator and the current
+        collective strategy and network configuration)."""
+        return {
+            "comm_id": self.comm_id,
+            "app_id": self.app_id,
+            "gpus": [g.global_id for g in self.gpus],
+            "hosts": sorted({g.host_id for g in self.gpus}),
+            "ring": list(self.strategy.ring.order),
+            "channels": self.strategy.channels,
+            "algorithm": self.strategy.algorithm,
+            "routes": self.strategy.route_map(),
+            "version": self.strategy.version,
+        }

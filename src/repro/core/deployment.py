@@ -1,0 +1,405 @@
+"""Deployment-wide coordination of the MCCS services.
+
+One :class:`MccsDeployment` spans the cluster: it owns the per-host
+services, the traffic gate manager, the trace store, and the
+reconfiguration manager, and it exposes the provider-facing management API
+that the centralized controller consumes (§4.3):
+
+* :meth:`describe` — active communicators, their GPU/host sets and current
+  strategy/network configuration;
+* :meth:`trace` — fine-grained collective traces;
+* :meth:`reconfigure` — push a new strategy through the Figure 4 barrier;
+* :meth:`set_traffic_schedule` — install TS transmission windows.
+
+Applications never touch this object directly; they connect through
+:meth:`connect`, which returns the shim (:class:`~repro.core.shim.MccsClient`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.nccl import default_channels
+from ..cluster.gpu import AsyncOp, Event, GpuDevice
+from ..cluster.specs import Cluster
+from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
+from ..collectives.types import input_bytes
+from ..netsim.errors import CommunicatorError, InvalidBufferError, MccsError
+from .communicator import CollectiveInstance, ServiceCommunicator
+from .messages import (
+    BufferRef,
+    CollectiveRequest,
+    CollectiveResponse,
+    CreateCommunicatorRequest,
+    CreateCommunicatorResponse,
+    DestroyCommunicatorRequest,
+)
+from .proxy import ProxyEngine
+from .reconfig import DEFAULT_CONTROL_RING_LATENCY, ReconfigManager, ReconfigSession
+from .service import MccsService
+from .strategy import CollectiveStrategy, default_strategy
+from .tracing import CommTrace, TraceStore
+from .transport import TrafficGateManager, WindowSchedule
+
+
+class MccsDeployment:
+    """All MCCS services of a cluster plus the provider control surface."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        latency: LatencyModel = MCCS_LATENCY,
+        ecmp_seed: int = 0,
+        control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
+        strict_consistency: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.latency = latency
+        self.ecmp_seed = ecmp_seed
+        self.control_latency = control_latency
+        self.strict_consistency = strict_consistency
+        self.services: Dict[int, MccsService] = {
+            host.host_id: MccsService(cluster, host) for host in cluster.hosts
+        }
+        self.gates = TrafficGateManager(cluster.sim)
+        self.traces = TraceStore()
+        self.reconfig = ReconfigManager(cluster.sim, self.proxies_of)
+        self._comms: Dict[int, ServiceCommunicator] = {}
+        self._comm_owner: Dict[int, str] = {}
+        #: Optional provider hook deciding the initial strategy of every
+        #: tenant-created communicator (installed by the controller via
+        #: CentralManager.manage_admissions()).
+        self.strategy_factory: Optional[
+            Callable[[str, Sequence[GpuDevice], int], CollectiveStrategy]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # application-facing entry point
+    # ------------------------------------------------------------------
+    def connect(self, app_id: str) -> "MccsClient":
+        """Attach an application; returns its shim library instance."""
+        from .shim import MccsClient
+
+        return MccsClient(self, app_id)
+
+    def service_of(self, host_id: int) -> MccsService:
+        return self.services[host_id]
+
+    def service_of_gpu(self, gpu: GpuDevice) -> MccsService:
+        return self.services[gpu.host_id]
+
+    # ------------------------------------------------------------------
+    # request handlers invoked by the frontend engines
+    # ------------------------------------------------------------------
+    def handle_create_communicator(
+        self, app_id: str, request: CreateCommunicatorRequest
+    ) -> CreateCommunicatorResponse:
+        gpus = [self.cluster.gpu(i) for i in request.gpu_global_ids]
+        comm = self.create_communicator(app_id, gpus)
+        root_host = self.cluster.hosts[gpus[0].host_id]
+        handle = root_host.ipc.export_event(comm.comm_event)
+        return CreateCommunicatorResponse(comm_id=comm.comm_id, done_event=handle)
+
+    def create_communicator(
+        self,
+        app_id: str,
+        gpus: Sequence[GpuDevice],
+        *,
+        channels: Optional[int] = None,
+        strategy: Optional[CollectiveStrategy] = None,
+    ) -> ServiceCommunicator:
+        """Create a communicator; the tenant's rank order is preserved but
+        the *strategy* belongs to the provider from here on."""
+        if channels is None:
+            channels = default_channels(gpus)
+        if strategy is None:
+            if self.strategy_factory is not None:
+                strategy = self.strategy_factory(app_id, gpus, channels)
+            else:
+                strategy = default_strategy(len(gpus), channels)
+        trace = None
+        comm = ServiceCommunicator(
+            self.cluster,
+            app_id,
+            gpus,
+            strategy,
+            latency=self.latency,
+            ecmp_seed=self.ecmp_seed,
+            gate=self.gates.gate_for(app_id),
+            strict_consistency=self.strict_consistency,
+        )
+        comm.trace = self.traces.trace_for(comm.comm_id, app_id)
+        self._comms[comm.comm_id] = comm
+        self._comm_owner[comm.comm_id] = app_id
+        for rank, gpu in enumerate(comm.gpus):
+            self.service_of_gpu(gpu).proxy_for(gpu.global_id).register(comm, rank)
+        return comm
+
+    def handle_destroy_communicator(
+        self, app_id: str, request: DestroyCommunicatorRequest
+    ) -> None:
+        comm = self._owned_comm(app_id, request.comm_id)
+        if comm.active_instances:
+            raise CommunicatorError(
+                f"communicator {comm.comm_id} still has "
+                f"{len(comm.active_instances)} collective(s) in flight"
+            )
+        for rank, gpu in enumerate(comm.gpus):
+            self.service_of_gpu(gpu).proxy_for(gpu.global_id).unregister(comm, rank)
+        for version in comm.datapath.live_versions():
+            comm.datapath.retire(version)
+        comm.destroyed = True
+        del self._comms[comm.comm_id]
+        del self._comm_owner[comm.comm_id]
+
+    def handle_collective(
+        self, app_id: str, request: CollectiveRequest
+    ) -> CollectiveResponse:
+        """Validate, sequence, and enqueue one collective (§4.1).
+
+        The request is turned into a :class:`CollectiveInstance` whose
+        kernel is enqueued on the communicator's service stream; when the
+        kernel starts, the launch fans out to each rank's proxy engine.
+        """
+        comm = self._owned_comm(app_id, request.comm_id)
+        if request.out_bytes <= 0:
+            raise CommunicatorError("collective size must be positive")
+        send_views, recv_views = self._validated_views(app_id, comm, request)
+        seq = comm.next_seq
+        comm.next_seq += 1
+        comm.trace.record_issue(seq, request.kind, request.out_bytes, self.sim.now)
+        instance = CollectiveInstance(
+            comm=comm,
+            seq=seq,
+            kind=request.kind,
+            out_bytes=request.out_bytes,
+            reduce_op=request.reduce_op,
+            root=request.root,
+            issue_time=self.sim.now,
+            dtype=request.dtype,
+            send_views=send_views,
+            recv_views=recv_views,
+        )
+        comm.instances.append(instance)
+        comm.active_instances.add(seq)
+
+        root_host = self.cluster.hosts[comm.gpus[0].host_id]
+        if request.stream_event is not None:
+            app_event = root_host.ipc.open_event(request.stream_event)
+            comm.stream.wait_event(app_event)
+
+        def fan_out() -> None:
+            for rank, gpu in enumerate(comm.gpus):
+                proxy = self.service_of_gpu(gpu).proxy_for(gpu.global_id)
+                proxy.request_launch(rank, instance)
+
+        kernel = AsyncOp(name=f"comm{comm.comm_id}.seq{seq}", on_start=fan_out)
+        instance.kernel = kernel
+        comm.stream.enqueue(kernel)
+        done_event = Event(name=f"comm{comm.comm_id}.seq{seq}.done")
+        instance.done_event = done_event
+        comm.stream.record_event(done_event)
+        handle = root_host.ipc.export_event(done_event)
+        return CollectiveResponse(comm_id=comm.comm_id, seq=seq, done_event=handle)
+
+    def handle_p2p(self, app_id: str, request) -> "P2pResponse":
+        """Point-to-point transfer between two ranks (§5 extension).
+
+        P2P ops serialize on the communicator's service stream like
+        collectives, but do not participate in the reconfiguration
+        sequence numbering — they involve only two ranks, so the Figure 4
+        barrier (which relies on every collective involving every rank)
+        does not apply; they simply use whatever connections the current
+        strategy version provides.
+        """
+        from .messages import P2pRequest, P2pResponse
+
+        assert isinstance(request, P2pRequest)
+        comm = self._owned_comm(app_id, request.comm_id)
+        if request.nbytes <= 0:
+            raise CommunicatorError("transfer size must be positive")
+        if not (
+            0 <= request.src_rank < comm.world
+            and 0 <= request.dst_rank < comm.world
+        ) or request.src_rank == request.dst_rank:
+            raise CommunicatorError(
+                f"bad p2p ranks ({request.src_rank} -> {request.dst_rank})"
+            )
+        dtype = np.dtype(request.dtype)
+        send_view = recv_view = None
+        if request.send_ref is not None:
+            if request.send_ref.nbytes != request.nbytes:
+                raise InvalidBufferError("send buffer size mismatch")
+            manager = self.service_of_gpu(comm.gpus[request.src_rank]).memory
+            send_view = manager.view(app_id, request.send_ref, dtype)
+        if request.recv_ref is not None:
+            if request.recv_ref.nbytes != request.nbytes:
+                raise InvalidBufferError("recv buffer size mismatch")
+            manager = self.service_of_gpu(comm.gpus[request.dst_rank]).memory
+            recv_view = manager.view(app_id, request.recv_ref, dtype)
+
+        root_host = self.cluster.hosts[comm.gpus[0].host_id]
+        if request.stream_event is not None:
+            app_event = root_host.ipc.open_event(request.stream_event)
+            comm.stream.wait_event(app_event)
+        done_event = Event(name=f"comm{comm.comm_id}.p2p.done")
+
+        def start() -> None:
+            strategy = comm.strategy
+            comm.datapath.acquire(strategy.version)
+            fixed = comm.latency.collective_latency(1)
+
+            def inject() -> None:
+                table, selector = comm.datapath.table_for(strategy, comm.gpus)
+                conn = table.establish_edge(
+                    comm.gpus[request.src_rank],
+                    comm.gpus[request.dst_rank],
+                    0,
+                    selector,
+                )
+                flow = self.sim.add_flow(
+                    request.nbytes,
+                    conn.path,
+                    job_id=comm.app_id,
+                    tags={"comm": comm.comm_id, "p2p": True},
+                    on_complete=lambda _f, _t: finish(),
+                )
+                if comm.gate is not None:
+                    comm.gate.register(flow)
+
+            def finish() -> None:
+                if send_view is not None and recv_view is not None:
+                    np.copyto(recv_view, send_view)
+                comm.datapath.release(strategy.version, comm.strategy.version)
+                kernel.complete()
+
+            self.sim.call_in(fixed, inject)
+
+        kernel = AsyncOp(name=f"comm{comm.comm_id}.p2p", on_start=start)
+        comm.stream.enqueue(kernel)
+        comm.stream.record_event(done_event)
+        handle = root_host.ipc.export_event(done_event)
+        return P2pResponse(comm_id=comm.comm_id, done_event=handle)
+
+    def network_utilization(self, min_utilization: float = 0.0) -> Dict[str, float]:
+        """Provider-side view of current link utilization (never exposed
+        to tenants — the confidentiality point of §2.2)."""
+        return self.sim.link_utilization(min_utilization)
+
+    def _validated_views(
+        self, app_id: str, comm: ServiceCommunicator, request: CollectiveRequest
+    ) -> Tuple[Optional[List], Optional[List]]:
+        """Bounds-check buffer references and materialize numpy views."""
+        if not request.send_refs:
+            return None, None
+        if len(request.send_refs) != comm.world:
+            raise InvalidBufferError("need one send buffer per rank")
+        dtype = np.dtype(request.dtype)
+        expected = input_bytes(request.kind, request.out_bytes, comm.world)
+        send_views = []
+        for rank, ref in enumerate(request.send_refs):
+            if ref.nbytes != expected:
+                raise InvalidBufferError(
+                    f"rank {rank} send buffer is {ref.nbytes} bytes; "
+                    f"{request.kind} of {request.out_bytes} needs {expected}"
+                )
+            manager = self.service_of_gpu(comm.gpus[rank]).memory
+            send_views.append(manager.view(app_id, ref, dtype))
+        recv_views = None
+        if request.recv_refs:
+            if len(request.recv_refs) != comm.world:
+                raise InvalidBufferError("need one recv buffer per rank")
+            recv_views = []
+            for rank, ref in enumerate(request.recv_refs):
+                if ref.nbytes != request.out_bytes:
+                    raise InvalidBufferError(
+                        f"rank {rank} recv buffer is {ref.nbytes} bytes; the "
+                        f"output-buffer convention requires {request.out_bytes}"
+                    )
+                manager = self.service_of_gpu(comm.gpus[rank]).memory
+                recv_views.append(manager.view(app_id, ref, dtype))
+        return send_views, recv_views
+
+    def _owned_comm(self, app_id: str, comm_id: int) -> ServiceCommunicator:
+        comm = self._comms.get(comm_id)
+        if comm is None:
+            raise CommunicatorError(f"unknown communicator {comm_id}")
+        if self._comm_owner[comm_id] != app_id:
+            raise CommunicatorError(
+                f"communicator {comm_id} belongs to "
+                f"{self._comm_owner[comm_id]!r}, not {app_id!r}"
+            )
+        return comm
+
+    # ------------------------------------------------------------------
+    # provider-facing management API (§4.3)
+    # ------------------------------------------------------------------
+    def communicators(self) -> List[ServiceCommunicator]:
+        return list(self._comms.values())
+
+    def communicator(self, comm_id: int) -> ServiceCommunicator:
+        try:
+            return self._comms[comm_id]
+        except KeyError:
+            raise CommunicatorError(f"unknown communicator {comm_id}") from None
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Cluster-wide snapshot for the centralized controller."""
+        return [comm.describe() for comm in self._comms.values()]
+
+    def trace(self, comm_id: int) -> CommTrace:
+        trace = self.traces.get(comm_id)
+        if trace is None:
+            raise CommunicatorError(f"no trace for communicator {comm_id}")
+        return trace
+
+    def proxies_of(self, comm: ServiceCommunicator) -> List[ProxyEngine]:
+        return [
+            self.service_of_gpu(gpu).proxy_for(gpu.global_id) for gpu in comm.gpus
+        ]
+
+    def reconfigure(
+        self,
+        comm_id: int,
+        *,
+        ring: Optional[Sequence[int]] = None,
+        routes: Optional[Dict[Tuple[int, int, int], int]] = None,
+        channels: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        delays: Optional[Sequence[float]] = None,
+        barrier_enabled: bool = True,
+        on_done: Optional[Callable[[ReconfigSession], None]] = None,
+    ) -> ReconfigSession:
+        """Provider command: move a communicator to a new strategy."""
+        from ..collectives.ring import RingSchedule
+
+        comm = self.communicator(comm_id)
+        new_strategy = comm.strategy.evolve(
+            ring=RingSchedule(tuple(ring)) if ring is not None else None,
+            channels=channels,
+            algorithm=algorithm,
+            routes=routes,
+        )
+        return self.reconfig.reconfigure(
+            comm,
+            new_strategy,
+            delays=delays,
+            barrier_enabled=barrier_enabled,
+            control_latency=self.control_latency,
+            on_done=on_done,
+        )
+
+    def set_traffic_schedule(
+        self, app_id: str, schedule: Optional[WindowSchedule]
+    ) -> None:
+        """Install (or clear) TS transmission windows for a tenant."""
+        self.gates.set_schedule(app_id, schedule)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the shared simulation clock (driver convenience)."""
+        return self.sim.run(until=until)

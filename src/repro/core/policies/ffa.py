@@ -1,0 +1,184 @@
+"""Example #2: Best-fit fair flow assignment, FFA (§4.3).
+
+"Once the ring configuration for all applications are optimized, the
+communication patterns between hosts and hence the set of flows can be
+determined. ... We use a slightly modified version of the greedy
+heuristics proposed in Hedera, where for each flow we assign it the path
+that has minimal excess bandwidth demand.  We round-robin between flows
+from different jobs for fairness."
+
+The policy consumes the collective strategy configuration of all
+communicators (communication patterns depend only on the strategy, so FFA
+knows every flow — every RDMA connection — in the network), and emits a
+route id per connection, which MCCS's transport engines realize via
+policy-based routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ...cluster.specs import Cluster
+from ...netsim.errors import PolicyError
+from ..communicator import ServiceCommunicator
+
+RouteAssignment = Dict[Tuple[int, int, int], int]
+"""(src rank, dst rank, channel) -> route id, per communicator."""
+
+
+@dataclass
+class FlowDemand:
+    """One inter-host connection that needs a route."""
+
+    comm_id: int
+    app_id: str
+    src_rank: int
+    dst_rank: int
+    channel: int
+    src_nic: str
+    dst_nic: str
+    paths: List[List[str]]
+    demand: float
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.src_rank, self.dst_rank, self.channel)
+
+
+def collect_demands(
+    cluster: Cluster, comm: ServiceCommunicator
+) -> List[FlowDemand]:
+    """Enumerate the inter-host connections implied by a communicator's
+    current strategy (ring order x channels)."""
+    strategy = comm.strategy
+    demands: List[FlowDemand] = []
+    for src_rank, dst_rank in strategy.ring.edges():
+        src, dst = comm.gpus[src_rank], comm.gpus[dst_rank]
+        if src.host_id == dst.host_id:
+            continue
+        for channel in range(strategy.channels):
+            src_nic = cluster.nic_of_channel(src, channel)
+            dst_nic = cluster.nic_of_channel(dst, channel)
+            paths = cluster.topology.equal_cost_paths(src_nic, dst_nic)
+            nic_cap = min(
+                cluster.topology.capacity_of(paths[0][0]),
+                cluster.topology.capacity_of(paths[0][-1]),
+            )
+            demands.append(
+                FlowDemand(
+                    comm_id=comm.comm_id,
+                    app_id=comm.app_id,
+                    src_rank=src_rank,
+                    dst_rank=dst_rank,
+                    channel=channel,
+                    src_nic=src_nic,
+                    dst_nic=dst_nic,
+                    paths=paths,
+                    demand=nic_cap,
+                )
+            )
+    return demands
+
+
+class _LinkLoadTracker:
+    """Tracks per-link offered demand for best-fit placement."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cap = {
+            link_id: link.capacity
+            for link_id, link in cluster.topology.links.items()
+        }
+        self._load: Dict[str, float] = {}
+
+    def utilization_after(self, path: Sequence[str], demand: float) -> float:
+        """Highest link utilization on ``path`` if ``demand`` is added."""
+        worst = 0.0
+        for link in path:
+            u = (self._load.get(link, 0.0) + demand) / self._cap[link]
+            worst = max(worst, u)
+        return worst
+
+    def place(self, path: Sequence[str], demand: float) -> None:
+        for link in path:
+            self._load[link] = self._load.get(link, 0.0) + demand
+
+
+def _best_fit(
+    flow: FlowDemand,
+    tracker: _LinkLoadTracker,
+    allowed_routes: Optional[Set[int]] = None,
+) -> int:
+    """Hedera-style best fit: the route with minimal excess demand.
+
+    With utilization as the (capacity-normalized) excess measure, the
+    chosen path is the one whose most-loaded link stays lowest after
+    placing this flow.  Ties break toward the lowest route id for
+    determinism.
+    """
+    candidates = range(len(flow.paths))
+    if allowed_routes is not None:
+        candidates = [r for r in candidates if r in allowed_routes]
+        if not candidates:
+            raise PolicyError(
+                f"no permitted route for flow {flow.key} of {flow.app_id}"
+            )
+    best_route = None
+    best_score = None
+    for route_id in candidates:
+        score = tracker.utilization_after(flow.paths[route_id], flow.demand)
+        if best_score is None or score < best_score - 1e-12:
+            best_score = score
+            best_route = route_id
+    assert best_route is not None
+    return best_route
+
+
+def _round_robin(groups: Sequence[List[FlowDemand]]) -> Iterable[FlowDemand]:
+    """Interleave flows of different jobs one at a time (fairness)."""
+    cursors = [0] * len(groups)
+    remaining = sum(len(g) for g in groups)
+    while remaining:
+        for gi, group in enumerate(groups):
+            if cursors[gi] < len(group):
+                yield group[cursors[gi]]
+                cursors[gi] += 1
+                remaining -= 1
+
+
+def fair_flow_assignment(
+    cluster: Cluster,
+    comms: Sequence[ServiceCommunicator],
+    *,
+    allowed_routes_of: Optional[Mapping[str, Set[int]]] = None,
+    tracker: Optional[_LinkLoadTracker] = None,
+) -> Dict[int, RouteAssignment]:
+    """Assign a route id to every inter-host connection of every
+    communicator.
+
+    Args:
+        cluster: The fabric.
+        comms: All managed communicators (the controller's global view).
+        allowed_routes_of: Optional per-app route restrictions (used by
+            PFA to keep low-priority tenants off reserved routes).
+        tracker: Optionally continue filling an existing load tracker
+            (PFA places priority tenants first, then everyone else).
+
+    Returns:
+        ``{comm_id: {(src_rank, dst_rank, channel): route_id}}``.
+    """
+    tracker = tracker if tracker is not None else _LinkLoadTracker(cluster)
+    by_job: Dict[str, List[FlowDemand]] = {}
+    for comm in sorted(comms, key=lambda c: c.comm_id):
+        for demand in collect_demands(cluster, comm):
+            by_job.setdefault(demand.app_id, []).append(demand)
+    assignments: Dict[int, RouteAssignment] = {c.comm_id: {} for c in comms}
+    groups = [by_job[j] for j in sorted(by_job)]
+    for flow in _round_robin(groups):
+        allowed = None
+        if allowed_routes_of is not None and flow.app_id in allowed_routes_of:
+            allowed = allowed_routes_of[flow.app_id]
+        route_id = _best_fit(flow, tracker, allowed)
+        tracker.place(flow.paths[route_id], flow.demand)
+        assignments[flow.comm_id][flow.key] = route_id
+    return assignments

@@ -1,0 +1,76 @@
+"""Example #4: Time-window traffic scheduling, TS (§4.3).
+
+"MCCS could enforce a traffic schedule to control when each application
+can send out traffic.  In our implementation, we apply a simple time
+window based approach inspired by CASSINI to interleave traffic.  TS
+invokes MCCS tracing API and requests a trace of a prioritized
+application.  TS then analyzes the idle cycles of the application when it
+is not issuing collectives.  TS sends a time interval schedule to MCCS
+service.  Transport engines in MCCS service then allow other applications
+to send traffic only when the prioritized application is idle."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...netsim.errors import PolicyError
+from ..tracing import CommTrace
+from ..transport import WindowSchedule
+
+
+@dataclass(frozen=True)
+class TrafficAnalysis:
+    """The periodic structure extracted from a prioritized app's trace."""
+
+    period: float
+    busy: float
+    idle: float
+    phase: float  # projected start of the next busy window (absolute time)
+
+
+def analyze_trace(trace: CommTrace, *, guard: float = 0.0) -> TrafficAnalysis:
+    """Extract the iteration period and busy/idle split from a trace.
+
+    The analysis uses medians of the observed communication bursts and
+    gaps, which tolerates warmup jitter.  ``guard`` widens the busy window
+    on both sides to absorb phase drift.
+    """
+    period_info = trace.communication_period()
+    if period_info is None:
+        raise PolicyError(
+            f"trace of comm {trace.comm_id} has too few completed "
+            "collectives to analyze"
+        )
+    busy, idle = period_info
+    busy = busy + 2 * guard
+    period = busy + idle
+    if idle <= 0:
+        raise PolicyError("prioritized application has no idle cycles")
+    # Project the phase from the most recent busy interval start.
+    busy_intervals = trace.busy_intervals()
+    last_start = busy_intervals[-1][0] - guard
+    return TrafficAnalysis(period=period, busy=busy, idle=idle, phase=last_start)
+
+
+def schedule_for_others(analysis: TrafficAnalysis) -> WindowSchedule:
+    """Transmission windows for the *other* tenants.
+
+    They may send only while the prioritized tenant is idle: within each
+    period, the open interval starts when the prioritized burst ends.
+    """
+    return WindowSchedule(
+        period=analysis.period,
+        open_intervals=((analysis.busy, analysis.period),),
+        t0=analysis.phase,
+    )
+
+
+def compute_traffic_schedule(
+    trace: CommTrace, *, guard: float = 0.0
+) -> Tuple[TrafficAnalysis, WindowSchedule]:
+    """End-to-end TS policy: analyze a prioritized trace and emit the
+    window schedule to install for every non-prioritized tenant."""
+    analysis = analyze_trace(trace, guard=guard)
+    return analysis, schedule_for_others(analysis)

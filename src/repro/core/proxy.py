@@ -1,0 +1,195 @@
+"""Proxy engines: per-GPU managers of collective launches (§4.2).
+
+"For each GPU on a given host, MCCS initializes a single proxy engine that
+handles all communicators which include that GPU in their ranks."  The
+proxy is where the reconfiguration protocol lives: it tracks the sequence
+number of the last collective it launched for each communicator, holds
+subsequent launches while a reconfiguration barrier is pending, and
+switches strategy versions only once the barrier resolves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
+
+from ..netsim.errors import ReconfigurationError
+from .communicator import CollectiveInstance, ServiceCommunicator
+from .strategy import CollectiveStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
+    from .reconfig import ReconfigSession
+
+CommRankKey = Tuple[int, int]
+"""(comm_id, rank)"""
+
+
+@dataclass
+class _RankState:
+    """Per-(communicator, rank) launch bookkeeping."""
+
+    strategy: CollectiveStrategy
+    launched_seq: int = -1
+    holding: bool = False
+    pending: Deque[CollectiveInstance] = field(default_factory=deque)
+    session: Optional["ReconfigSession"] = None
+    catch_up_max: Optional[int] = None
+
+
+class ProxyEngine:
+    """The proxy engine of one GPU.
+
+    The engine handles every communicator whose ranks include its GPU;
+    multiple applications sharing the GPU share this engine (§5).
+    """
+
+    def __init__(self, host_id: int, gpu_global_id: int) -> None:
+        self.host_id = host_id
+        self.gpu_global_id = gpu_global_id
+        self._ranks: Dict[CommRankKey, _RankState] = {}
+        self.launches = 0
+        self.reconfigurations = 0
+
+    # ------------------------------------------------------------------
+    def register(self, comm: ServiceCommunicator, rank: int) -> None:
+        """Adopt rank ``rank`` of ``comm`` (called at communicator init)."""
+        gpu = comm.gpus[rank]
+        if gpu.global_id != self.gpu_global_id:
+            raise ValueError(
+                f"rank {rank} of comm {comm.comm_id} is on GPU "
+                f"{gpu.global_id}, not {self.gpu_global_id}"
+            )
+        self._ranks[(comm.comm_id, rank)] = _RankState(strategy=comm.strategy)
+
+    def unregister(self, comm: ServiceCommunicator, rank: int) -> None:
+        self._ranks.pop((comm.comm_id, rank), None)
+
+    def handles(self, comm_id: int, rank: int) -> bool:
+        return (comm_id, rank) in self._ranks
+
+    def state(self, comm_id: int, rank: int) -> _RankState:
+        try:
+            return self._ranks[(comm_id, rank)]
+        except KeyError:
+            raise KeyError(
+                f"proxy of GPU {self.gpu_global_id} does not handle "
+                f"rank {rank} of comm {comm_id}"
+            ) from None
+
+    def launched_seq(self, comm_id: int, rank: int) -> int:
+        return self.state(comm_id, rank).launched_seq
+
+    def current_strategy(self, comm_id: int, rank: int) -> CollectiveStrategy:
+        return self.state(comm_id, rank).strategy
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def request_launch(self, rank: int, instance: CollectiveInstance) -> None:
+        """Deliver a collective to this proxy for ``rank``.
+
+        Launched immediately under the proxy's current strategy unless a
+        reconfiguration barrier is pending, in which case the instance is
+        queued ("after receiving a reconfiguration request, each proxy
+        enqueues all subsequent collectives").  A proxy whose barrier has
+        already resolved but that is still behind ``max_seq`` launches
+        pre-barrier sequence numbers under the old strategy (catch-up).
+        """
+        state = self.state(instance.comm.comm_id, rank)
+        if not state.holding:
+            self._launch(state, rank, instance)
+            return
+        if (
+            state.catch_up_max is not None
+            and instance.seq <= state.catch_up_max
+        ):
+            self._launch(state, rank, instance, allow_holding=True)
+            if state.launched_seq >= state.catch_up_max:
+                self._apply(state, rank)
+            return
+        state.pending.append(instance)
+
+    def _launch(
+        self,
+        state: _RankState,
+        rank: int,
+        instance: CollectiveInstance,
+        allow_holding: bool = False,
+    ) -> None:
+        if state.holding and not allow_holding:
+            raise ReconfigurationError("launch attempted while holding")
+        if instance.seq != state.launched_seq + 1:
+            raise ReconfigurationError(
+                f"proxy launch out of order: seq {instance.seq} after "
+                f"{state.launched_seq} (comm {instance.comm.comm_id}, rank {rank})"
+            )
+        state.launched_seq = instance.seq
+        self.launches += 1
+        instance.rank_launch(rank, state.strategy)
+
+    # ------------------------------------------------------------------
+    # reconfiguration protocol (Figure 4)
+    # ------------------------------------------------------------------
+    def receive_reconfig(self, rank: int, session: "ReconfigSession") -> None:
+        """Handle a reconfiguration request arriving at this proxy.
+
+        With the barrier enabled, the proxy stalls subsequent launches and
+        contributes its last-launched sequence number to the control-ring
+        AllGather.  With the barrier disabled (the broken protocol on the
+        left of Figure 4), it applies the update immediately — which the
+        consistency checker catches when ranks end up disagreeing.
+        """
+        state = self.state(session.comm.comm_id, rank)
+        if state.session is not None:
+            raise ReconfigurationError(
+                f"rank {rank} of comm {session.comm.comm_id} already has a "
+                "reconfiguration in progress"
+            )
+        state.session = session
+        if session.barrier_enabled:
+            state.holding = True
+            session.contribute(rank, state.launched_seq)
+        else:
+            state.strategy = session.new_strategy
+            state.session = None
+            self.reconfigurations += 1
+            session.mark_applied(rank)
+
+    def barrier_resolved(
+        self, rank: int, session: "ReconfigSession", max_seq: int
+    ) -> None:
+        """Apply the update once the AllGather resolved to ``max_seq``.
+
+        Queued collectives with sequence numbers up to ``max_seq`` are
+        launched under the *old* strategy first (another rank already
+        launched them), then the strategy switches, then the rest of the
+        queue drains under the new one.
+        """
+        state = self.state(session.comm.comm_id, rank)
+        if state.session is not session or not state.holding:
+            raise ReconfigurationError(
+                f"barrier resolved for rank {rank} that was not holding"
+            )
+        while state.pending and state.pending[0].seq <= max_seq:
+            self._launch(state, rank, state.pending.popleft(), allow_holding=True)
+        if state.launched_seq < max_seq:
+            # The pre-barrier collectives have not reached this proxy yet
+            # (they are upstream on the communicator stream): stay holding
+            # and catch up as they arrive.
+            state.catch_up_max = max_seq
+            return
+        self._apply(state, rank)
+
+    def _apply(self, state: _RankState, rank: int) -> None:
+        session = state.session
+        if session is None:
+            raise ReconfigurationError("apply without an active session")
+        state.strategy = session.new_strategy
+        state.holding = False
+        state.catch_up_max = None
+        state.session = None
+        self.reconfigurations += 1
+        session.mark_applied(rank)
+        while state.pending:
+            self._launch(state, rank, state.pending.popleft())

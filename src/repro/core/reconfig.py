@@ -1,0 +1,215 @@
+"""The dynamic reconfiguration barrier protocol (§4.2, Figure 4).
+
+Reconfiguration must not require "expensive synchronization operations on
+the fast path": in the absence of a request there is zero overhead, and
+when a request is issued the proxies agree on a cut of the collective
+sequence via an AllGather on the per-communicator control ring:
+
+1. the provider's command reaches each rank's proxy after an arbitrary
+   delay;
+2. on receipt, a proxy queues subsequent collectives and contributes the
+   sequence number of the last collective it *launched*;
+3. when every proxy has contributed, the AllGather completes (modelled as
+   one control-ring round-trip latency) and everyone learns
+   ``max_seq = max(contributions)``;
+4. each proxy launches queued collectives with ``seq <= max_seq`` under
+   the old configuration, applies the update (tearing down and
+   re-establishing peer connections), and resumes with the new one.
+
+:class:`ReconfigSession` owns one such request's lifecycle;
+:class:`ControlBarrier` is the AllGather.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set
+
+from ..netsim.engine import FlowSimulator
+from ..netsim.errors import ReconfigurationError
+from .communicator import ServiceCommunicator
+from .strategy import CollectiveStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .proxy import ProxyEngine
+
+_session_counter = itertools.count()
+
+#: One AllGather round on the TCP/IP control ring.  The paper reports
+#: sub-millisecond schedule computation and "rather small" reconfiguration
+#: overhead; a control round-trip in the 100 us range matches a
+#: host-crossing TCP exchange.
+DEFAULT_CONTROL_RING_LATENCY = 100e-6
+
+
+class ControlBarrier:
+    """AllGather of launched-sequence numbers over the control ring."""
+
+    def __init__(
+        self,
+        sim: FlowSimulator,
+        world: int,
+        latency: float,
+        on_resolve: Callable[[int], None],
+    ) -> None:
+        self.sim = sim
+        self.world = world
+        self.latency = latency
+        self._on_resolve = on_resolve
+        self.contributions: Dict[int, int] = {}
+        self.resolved = False
+        self.max_seq: Optional[int] = None
+
+    def contribute(self, rank: int, launched_seq: int) -> None:
+        if self.resolved:
+            raise ReconfigurationError("late contribution to resolved barrier")
+        if rank in self.contributions:
+            raise ReconfigurationError(f"rank {rank} contributed twice")
+        self.contributions[rank] = launched_seq
+        if len(self.contributions) == self.world:
+            self.max_seq = max(self.contributions.values())
+            self.sim.call_in(self.latency, self._resolve)
+
+    def _resolve(self) -> None:
+        self.resolved = True
+        assert self.max_seq is not None
+        self._on_resolve(self.max_seq)
+
+
+class ReconfigSession:
+    """One reconfiguration request's lifecycle across all rank proxies."""
+
+    def __init__(
+        self,
+        comm: ServiceCommunicator,
+        new_strategy: CollectiveStrategy,
+        proxies: Sequence["ProxyEngine"],
+        *,
+        barrier_enabled: bool = True,
+        control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
+        on_done: Optional[Callable[["ReconfigSession"], None]] = None,
+    ) -> None:
+        if new_strategy.version <= comm.strategy.version:
+            raise ReconfigurationError(
+                "new strategy version must exceed the current one "
+                f"({new_strategy.version} <= {comm.strategy.version})"
+            )
+        self.session_id = next(_session_counter)
+        self.comm = comm
+        self.new_strategy = new_strategy
+        self.proxies = list(proxies)
+        self.barrier_enabled = barrier_enabled
+        self.issue_time = comm.sim.now
+        self.resolve_time: Optional[float] = None
+        self.done_time: Optional[float] = None
+        self._applied: Set[int] = set()
+        self._on_done = on_done
+        self.barrier = ControlBarrier(
+            comm.sim, comm.world, control_latency, self._barrier_resolved
+        )
+        self.max_seq: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def deliver(self, rank: int, delay: float) -> None:
+        """Schedule delivery of the request to ``rank``'s proxy."""
+        self.comm.sim.call_in(
+            delay, lambda: self.proxies[rank].receive_reconfig(rank, self)
+        )
+
+    def contribute(self, rank: int, launched_seq: int) -> None:
+        self.barrier.contribute(rank, launched_seq)
+
+    def _barrier_resolved(self, max_seq: int) -> None:
+        self.max_seq = max_seq
+        self.resolve_time = self.comm.sim.now
+        # All proxies learn the cut; the communicator adopts the new
+        # strategy version so freshly retired connection tables know what
+        # "current" means.
+        self.comm.commit_strategy(self.new_strategy)
+        for rank, proxy in enumerate(self.proxies):
+            proxy.barrier_resolved(rank, self, max_seq)
+
+    def mark_applied(self, rank: int) -> None:
+        if rank in self._applied:
+            raise ReconfigurationError(f"rank {rank} applied update twice")
+        self._applied.add(rank)
+        if not self.barrier_enabled:
+            # broken-protocol mode: commit on first application so that
+            # launches under the new version find the strategy registered
+            self.comm.commit_strategy(self.new_strategy)
+        if len(self._applied) == self.comm.world:
+            self.done_time = self.comm.sim.now
+            if self._on_done is not None:
+                self._on_done(self)
+
+    @property
+    def done(self) -> bool:
+        return self.done_time is not None
+
+
+class ReconfigManager:
+    """Issues reconfiguration commands on behalf of the provider.
+
+    This is the command interface "made available to the provider (not the
+    applications)" (§4.2); the centralized controller calls it with the
+    outputs of its policies.
+    """
+
+    def __init__(self, sim: FlowSimulator, proxies_of: Callable[[ServiceCommunicator], List["ProxyEngine"]]) -> None:
+        self._sim = sim
+        self._proxies_of = proxies_of
+        self._active: Dict[int, ReconfigSession] = {}
+        self.sessions: List[ReconfigSession] = []
+
+    def reconfigure(
+        self,
+        comm: ServiceCommunicator,
+        new_strategy: CollectiveStrategy,
+        *,
+        delays: Optional[Sequence[float]] = None,
+        barrier_enabled: bool = True,
+        control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
+        on_done: Optional[Callable[[ReconfigSession], None]] = None,
+    ) -> ReconfigSession:
+        """Send a reconfiguration request to every rank's proxy.
+
+        Args:
+            comm: Target communicator.
+            new_strategy: The next strategy (its version must be newer).
+            delays: Per-rank delivery delays modelling "arbitrary network
+                and processing delays"; defaults to immediate delivery.
+            barrier_enabled: Disable only to demonstrate the Figure 4
+                hazard; production code always leaves this True.
+            control_latency: One AllGather round on the control ring.
+            on_done: Callback once every rank applied the update.
+        """
+        if comm.comm_id in self._active and not self._active[comm.comm_id].done:
+            raise ReconfigurationError(
+                f"communicator {comm.comm_id} already reconfiguring"
+            )
+        proxies = self._proxies_of(comm)
+        if len(proxies) != comm.world:
+            raise ReconfigurationError("need one proxy per rank")
+
+        def finished(session: ReconfigSession) -> None:
+            self._active.pop(comm.comm_id, None)
+            if on_done is not None:
+                on_done(session)
+
+        session = ReconfigSession(
+            comm,
+            new_strategy,
+            proxies,
+            barrier_enabled=barrier_enabled,
+            control_latency=control_latency,
+            on_done=finished,
+        )
+        self._active[comm.comm_id] = session
+        self.sessions.append(session)
+        if delays is None:
+            delays = [0.0] * comm.world
+        if len(delays) != comm.world:
+            raise ReconfigurationError("need one delivery delay per rank")
+        for rank, delay in enumerate(delays):
+            session.deliver(rank, delay)
+        return session

@@ -1,0 +1,122 @@
+"""Per-host MCCS service: frontend engines, memory, proxy engines.
+
+"MCCS service runs as a trusted, user-space process with access to all
+GPUs and NICs on the host" (§3).  One :class:`MccsService` exists per
+host.  Each connected application gets a dedicated
+:class:`FrontendEngine` bound to its shared-memory command queue; host-
+local concerns (memory allocation/validation, per-GPU proxy engines) live
+here, while cross-host concerns (communicator creation, collective
+fan-out, reconfiguration) are coordinated by
+:class:`~repro.core.deployment.MccsDeployment`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..cluster.host import Host
+from ..cluster.specs import Cluster
+from ..netsim.errors import MccsError
+from .memory import MemoryManager
+from .messages import (
+    AllocateRequest,
+    AllocateResponse,
+    CollectiveRequest,
+    CommandQueue,
+    CreateCommunicatorRequest,
+    DestroyCommunicatorRequest,
+    FreeRequest,
+    P2pRequest,
+    Request,
+)
+from .proxy import ProxyEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .deployment import MccsDeployment
+
+
+class FrontendEngine:
+    """The dedicated front-end engine of one application on one host.
+
+    It owns the application's command queue and dispatches requests:
+    memory management is handled host-locally, communicator and collective
+    requests are forwarded to the deployment coordinator.
+    """
+
+    def __init__(
+        self, service: "MccsService", app_id: str, deployment: "MccsDeployment"
+    ) -> None:
+        self.service = service
+        self.app_id = app_id
+        self.deployment = deployment
+        self.queue = CommandQueue()
+        self.queue.bind(self.handle)
+        self.requests_handled = 0
+
+    def handle(self, request: Request) -> object:
+        self.requests_handled += 1
+        if isinstance(request, AllocateRequest):
+            return self.service.allocate(
+                self.app_id, request.gpu_global_id, request.size
+            )
+        if isinstance(request, FreeRequest):
+            self.service.free(self.app_id, request.buffer_id)
+            return None
+        if isinstance(request, CreateCommunicatorRequest):
+            return self.deployment.handle_create_communicator(self.app_id, request)
+        if isinstance(request, CollectiveRequest):
+            return self.deployment.handle_collective(self.app_id, request)
+        if isinstance(request, P2pRequest):
+            return self.deployment.handle_p2p(self.app_id, request)
+        if isinstance(request, DestroyCommunicatorRequest):
+            self.deployment.handle_destroy_communicator(self.app_id, request)
+            return None
+        raise MccsError(f"unknown request type {type(request).__name__}")
+
+
+class MccsService:
+    """The trusted per-host service process."""
+
+    def __init__(self, cluster: Cluster, host: Host) -> None:
+        self.cluster = cluster
+        self.host = host
+        self.memory = MemoryManager()
+        #: one proxy engine per GPU on this host (§4.2)
+        self.proxies: Dict[int, ProxyEngine] = {
+            gpu.global_id: ProxyEngine(host.host_id, gpu.global_id)
+            for gpu in host.gpus
+        }
+        self._frontends: Dict[str, FrontendEngine] = {}
+
+    # ------------------------------------------------------------------
+    def frontend_for(self, app_id: str, deployment: "MccsDeployment") -> FrontendEngine:
+        """The app's dedicated frontend engine (created on first use)."""
+        if app_id not in self._frontends:
+            self._frontends[app_id] = FrontendEngine(self, app_id, deployment)
+        return self._frontends[app_id]
+
+    def proxy_for(self, gpu_global_id: int) -> ProxyEngine:
+        try:
+            return self.proxies[gpu_global_id]
+        except KeyError:
+            raise MccsError(
+                f"GPU {gpu_global_id} is not on host {self.host.host_id}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # host-local request handling
+    # ------------------------------------------------------------------
+    def allocate(self, app_id: str, gpu_global_id: int, size: int) -> AllocateResponse:
+        gpu = self.cluster.gpu(gpu_global_id)
+        if gpu.host_id != self.host.host_id:
+            raise MccsError(
+                f"allocation for GPU {gpu_global_id} sent to host "
+                f"{self.host.host_id}"
+            )
+        alloc = self.memory.allocate(app_id, gpu, size, self.host.ipc)
+        return AllocateResponse(
+            buffer_id=alloc.buffer_id, handle=alloc.handle, size=size
+        )
+
+    def free(self, app_id: str, buffer_id: int) -> None:
+        self.memory.free(app_id, buffer_id, self.host.ipc)

@@ -1,0 +1,350 @@
+"""The MCCS shim library — what applications link against (§3, §4.1).
+
+The shim keeps NCCL's programming model: allocate GPU buffers, create a
+communicator over your GPUs, enqueue collectives against a CUDA stream.
+Underneath, every call becomes a command-queue request to the host's MCCS
+service:
+
+* ``alloc`` asks the service to allocate and opens the returned IPC memory
+  handle to obtain the device pointer;
+* ``free`` closes the IPC handle *before* forwarding the deallocation;
+* collectives pass ``(buffer id, offset)`` references — never raw
+  pointers — which the service validates against live allocations;
+* stream ordering is preserved by the event bridge of
+  :mod:`repro.core.sync`.
+
+Like the rest of the reproduction, one :class:`MccsClient` drives all of
+an application's ranks (collapsed-driver style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..cluster.gpu import DeviceBuffer, Event, GpuDevice, Stream
+from ..cluster.ipc import IpcMemHandle
+from ..collectives.types import Collective, ReduceOp
+from ..netsim.errors import MccsError
+from .communicator import CollectiveInstance
+from .deployment import MccsDeployment
+from .messages import (
+    AllocateRequest,
+    AllocateResponse,
+    BufferRef,
+    CollectiveRequest,
+    CollectiveResponse,
+    CreateCommunicatorRequest,
+    CreateCommunicatorResponse,
+    DestroyCommunicatorRequest,
+    FreeRequest,
+)
+from .sync import export_snapshot
+
+
+@dataclass
+class MccsBuffer:
+    """A device allocation obtained through the shim.
+
+    The application received the device pointer by opening the service's
+    IPC handle; compute kernels may use it freely, while collectives refer
+    to it by ``(buffer_id, offset)``.
+    """
+
+    client: "MccsClient"
+    gpu: GpuDevice
+    buffer_id: int
+    size: int
+    handle: IpcMemHandle
+    device_buffer: DeviceBuffer
+    freed: bool = False
+
+    def view(self, dtype=np.float32, offset: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Typed numpy view of the device memory (the 'device pointer')."""
+        return self.device_buffer.view(dtype, offset, count)
+
+    def ref(self, offset: int = 0, nbytes: Optional[int] = None) -> BufferRef:
+        """Reference a byte range for use in a collective."""
+        if nbytes is None:
+            nbytes = self.size - offset
+        return BufferRef(buffer_id=self.buffer_id, offset=offset, nbytes=nbytes)
+
+
+@dataclass
+class MccsCommunicator:
+    """Client-side communicator handle (mirrors ncclComm_t)."""
+
+    client: "MccsClient"
+    comm_id: int
+    gpus: List[GpuDevice]
+    done_event: Event
+
+    @property
+    def world(self) -> int:
+        return len(self.gpus)
+
+
+@dataclass
+class ClientCollective:
+    """Client-side view of one issued collective."""
+
+    comm: MccsCommunicator
+    seq: int
+    kind: Collective
+    out_bytes: int
+    instance: CollectiveInstance
+
+    @property
+    def completed(self) -> bool:
+        return self.instance.completed
+
+    def duration(self) -> float:
+        return self.instance.duration()
+
+    @property
+    def end_time(self) -> Optional[float]:
+        return self.instance.end_time
+
+
+BufferArg = Union[MccsBuffer, BufferRef]
+
+
+class MccsClient:
+    """The shim library instance of one application."""
+
+    def __init__(self, deployment: MccsDeployment, app_id: str) -> None:
+        self.deployment = deployment
+        self.app_id = app_id
+        self.cluster = deployment.cluster
+        self.buffers: Dict[int, MccsBuffer] = {}
+        self.communicators: Dict[int, MccsCommunicator] = {}
+
+    # ------------------------------------------------------------------
+    def _queue_for(self, gpu: GpuDevice):
+        service = self.deployment.service_of_gpu(gpu)
+        return service.frontend_for(self.app_id, self.deployment).queue
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def alloc(self, gpu: GpuDevice, size: int) -> MccsBuffer:
+        """Allocate ``size`` bytes on ``gpu`` through the MCCS service."""
+        response = self._queue_for(gpu).call(
+            AllocateRequest(gpu_global_id=gpu.global_id, size=size)
+        )
+        assert isinstance(response, AllocateResponse)
+        host = self.cluster.hosts[gpu.host_id]
+        device_buffer = host.ipc.open_memory(response.handle)
+        buf = MccsBuffer(
+            client=self,
+            gpu=gpu,
+            buffer_id=response.buffer_id,
+            size=response.size,
+            handle=response.handle,
+            device_buffer=device_buffer,
+        )
+        self.buffers[buf.buffer_id] = buf
+        return buf
+
+    def free(self, buf: MccsBuffer) -> None:
+        """Release a buffer: close the IPC handle, then tell the service.
+
+        The order matters — §4.1: "the shim is responsible for closing the
+        inter-process memory handle before forwarding the request".
+        """
+        if buf.freed:
+            raise MccsError(f"double free of buffer {buf.buffer_id}")
+        host = self.cluster.hosts[buf.gpu.host_id]
+        host.ipc.close_memory(buf.handle)
+        self._queue_for(buf.gpu).call(FreeRequest(buffer_id=buf.buffer_id))
+        buf.freed = True
+        del self.buffers[buf.buffer_id]
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def create_communicator(self, gpus: Sequence[GpuDevice]) -> MccsCommunicator:
+        """Create a communicator; rank i is ``gpus[i]``."""
+        response = self._queue_for(gpus[0]).call(
+            CreateCommunicatorRequest(
+                gpu_global_ids=tuple(g.global_id for g in gpus)
+            )
+        )
+        assert isinstance(response, CreateCommunicatorResponse)
+        root_host = self.cluster.hosts[gpus[0].host_id]
+        done_event = root_host.ipc.open_event(response.done_event)
+        comm = MccsCommunicator(
+            client=self,
+            comm_id=response.comm_id,
+            gpus=list(gpus),
+            done_event=done_event,
+        )
+        self.communicators[comm.comm_id] = comm
+        return comm
+
+    def adopt_communicator(self, comm_id: int) -> MccsCommunicator:
+        """Client-side handle for a communicator the provider pre-created
+        for this application (e.g. via ``CentralManager.admit``)."""
+        service_comm = self.deployment.communicator(comm_id)
+        if service_comm.app_id != self.app_id:
+            raise MccsError(
+                f"communicator {comm_id} belongs to {service_comm.app_id!r}"
+            )
+        comm = MccsCommunicator(
+            client=self,
+            comm_id=comm_id,
+            gpus=list(service_comm.gpus),
+            done_event=service_comm.comm_event,
+        )
+        self.communicators[comm_id] = comm
+        return comm
+
+    def destroy_communicator(self, comm: MccsCommunicator) -> None:
+        self._queue_for(comm.gpus[0]).call(
+            DestroyCommunicatorRequest(comm_id=comm.comm_id)
+        )
+        del self.communicators[comm.comm_id]
+
+    def create_stream(self, gpu: GpuDevice, name: Optional[str] = None) -> Stream:
+        """An application compute stream on ``gpu``."""
+        return gpu.create_stream(name)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def all_reduce(self, comm: MccsCommunicator, out_bytes: int, **kw) -> ClientCollective:
+        return self._collective(comm, Collective.ALL_REDUCE, out_bytes, **kw)
+
+    def all_gather(self, comm: MccsCommunicator, out_bytes: int, **kw) -> ClientCollective:
+        return self._collective(comm, Collective.ALL_GATHER, out_bytes, **kw)
+
+    def reduce_scatter(self, comm: MccsCommunicator, out_bytes: int, **kw) -> ClientCollective:
+        return self._collective(comm, Collective.REDUCE_SCATTER, out_bytes, **kw)
+
+    def broadcast(self, comm: MccsCommunicator, out_bytes: int, root: int = 0, **kw) -> ClientCollective:
+        return self._collective(comm, Collective.BROADCAST, out_bytes, root=root, **kw)
+
+    def reduce(self, comm: MccsCommunicator, out_bytes: int, root: int = 0, **kw) -> ClientCollective:
+        return self._collective(comm, Collective.REDUCE, out_bytes, root=root, **kw)
+
+    def send_recv(
+        self,
+        comm: MccsCommunicator,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: int,
+        *,
+        send: Optional[BufferArg] = None,
+        recv: Optional[BufferArg] = None,
+        dtype: str = "float32",
+        stream: Optional[Stream] = None,
+    ) -> Event:
+        """Point-to-point transfer (ncclSend/ncclRecv pair analogue).
+
+        Returns the completion event; with ``stream`` given, the stream
+        also waits on it, matching the collective synchronization dance.
+        """
+        from .messages import P2pRequest, P2pResponse
+
+        root_host = self.cluster.hosts[comm.gpus[0].host_id]
+        stream_event_handle = None
+        if stream is not None:
+            _, stream_event_handle = export_snapshot(
+                stream, root_host.ipc, label=f"{self.app_id}.p2p.pre"
+            )
+        response = self._queue_for(comm.gpus[0]).call(
+            P2pRequest(
+                comm_id=comm.comm_id,
+                src_rank=src_rank,
+                dst_rank=dst_rank,
+                nbytes=nbytes,
+                send_ref=self._as_ref(send) if send is not None else None,
+                recv_ref=self._as_ref(recv) if recv is not None else None,
+                dtype=dtype,
+                stream_id=stream.stream_id if stream is not None else -1,
+                stream_event=stream_event_handle,
+            )
+        )
+        assert isinstance(response, P2pResponse)
+        done = root_host.ipc.open_event(response.done_event)
+        if stream is not None:
+            stream.wait_event(done)
+        return done
+
+    def _collective(
+        self,
+        comm: MccsCommunicator,
+        kind: Collective,
+        out_bytes: int,
+        *,
+        send: Optional[Sequence[BufferArg]] = None,
+        recv: Optional[Sequence[BufferArg]] = None,
+        dtype: str = "float32",
+        op: ReduceOp = ReduceOp.SUM,
+        root: int = 0,
+        stream: Optional[Stream] = None,
+        on_complete: Optional[Callable[[CollectiveInstance, float], None]] = None,
+    ) -> ClientCollective:
+        """Issue one collective through the command queue.
+
+        When ``stream`` is given, the shim records a snapshot event on it
+        (so the service waits for the producing computation) and makes it
+        wait on the returned completion event (so consumers wait for the
+        collective) — the full §4.1 synchronization dance.
+        """
+        root_host = self.cluster.hosts[comm.gpus[0].host_id]
+        stream_event_handle = None
+        if stream is not None:
+            _, stream_event_handle = export_snapshot(
+                stream, root_host.ipc, label=f"{self.app_id}.pre"
+            )
+        request = CollectiveRequest(
+            comm_id=comm.comm_id,
+            kind=kind,
+            out_bytes=out_bytes,
+            send_refs=tuple(self._as_ref(b) for b in send) if send else (),
+            recv_refs=tuple(self._as_ref(b) for b in recv) if recv else (),
+            dtype=dtype,
+            reduce_op=op,
+            root=root,
+            stream_id=stream.stream_id if stream is not None else -1,
+            stream_event=stream_event_handle,
+        )
+        response = self._queue_for(comm.gpus[0]).call(request)
+        assert isinstance(response, CollectiveResponse)
+        service_comm = self.deployment.communicator(comm.comm_id)
+        instance = service_comm.instances[response.seq]
+        if on_complete is not None:
+            self._chain_callback(instance, on_complete)
+        if stream is not None and response.done_event is not None:
+            done = root_host.ipc.open_event(response.done_event)
+            stream.wait_event(done)
+        return ClientCollective(
+            comm=comm,
+            seq=response.seq,
+            kind=kind,
+            out_bytes=out_bytes,
+            instance=instance,
+        )
+
+    @staticmethod
+    def _chain_callback(
+        instance: CollectiveInstance,
+        callback: Callable[[CollectiveInstance, float], None],
+    ) -> None:
+        previous = instance.on_complete
+
+        def chained(inst: CollectiveInstance, now: float) -> None:
+            if previous is not None:
+                previous(inst, now)
+            callback(inst, now)
+
+        instance.on_complete = chained
+
+    @staticmethod
+    def _as_ref(buf: BufferArg) -> BufferRef:
+        if isinstance(buf, BufferRef):
+            return buf
+        return buf.ref()

@@ -1,0 +1,124 @@
+"""Fine-grained collective tracing (§4.3).
+
+"The MCCS service can perform fine-grained tracing of collectives issued
+by applications to determine properties of their computation and
+communication patterns.  The controller consumes this data to make a
+policy decision."  The time-window traffic scheduling policy (TS) is the
+consumer in the paper: it "invokes MCCS tracing API and requests a trace
+of a prioritized application [and] analyzes the idle cycles of the
+application when it is not issuing collectives."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..collectives.types import Collective
+
+
+@dataclass
+class TraceRecord:
+    """One collective's lifecycle timestamps."""
+
+    seq: int
+    kind: Collective
+    out_bytes: int
+    issue_time: float
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time is not None
+
+    def duration(self) -> float:
+        if self.end_time is None:
+            raise ValueError(f"collective seq={self.seq} still in flight")
+        return self.end_time - self.issue_time
+
+
+@dataclass
+class CommTrace:
+    """Per-communicator trace buffer with idle-cycle analysis."""
+
+    comm_id: int
+    app_id: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def record_issue(self, seq: int, kind: Collective, out_bytes: int, now: float) -> TraceRecord:
+        rec = TraceRecord(seq=seq, kind=kind, out_bytes=out_bytes, issue_time=now)
+        self.records.append(rec)
+        return rec
+
+    def completed_records(self) -> List[TraceRecord]:
+        return [r for r in self.records if r.completed]
+
+    def busy_intervals(self) -> List[Tuple[float, float]]:
+        """Merged [start, end) intervals during which collectives ran.
+
+        Intervals run from the moment traffic could enter the network
+        (start_time when known, otherwise issue time) to completion.
+        """
+        spans = sorted(
+            (r.start_time if r.start_time is not None else r.issue_time, r.end_time)
+            for r in self.records
+            if r.end_time is not None
+        )
+        merged: List[Tuple[float, float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def idle_intervals(self) -> List[Tuple[float, float]]:
+        """Gaps between consecutive busy intervals (the compute phases)."""
+        busy = self.busy_intervals()
+        return [
+            (busy[i][1], busy[i + 1][0])
+            for i in range(len(busy) - 1)
+            if busy[i + 1][0] > busy[i][1]
+        ]
+
+    def communication_period(self) -> Optional[Tuple[float, float]]:
+        """Estimated (busy, idle) durations of the steady-state iteration.
+
+        Training loops are periodic: each iteration has a communication
+        burst followed by a compute (idle-for-the-network) phase.  We take
+        medians over the observed intervals, which is robust to warmup
+        outliers.  Returns None when there is not enough signal.
+        """
+        busy = self.busy_intervals()
+        idle = self.idle_intervals()
+        if len(busy) < 2 or not idle:
+            return None
+        busy_durations = sorted(e - s for s, e in busy)
+        idle_durations = sorted(e - s for s, e in idle)
+        return (
+            busy_durations[len(busy_durations) // 2],
+            idle_durations[len(idle_durations) // 2],
+        )
+
+
+class TraceStore:
+    """All communicator traces of one deployment, queryable by the
+    management API."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[int, CommTrace] = {}
+
+    def trace_for(self, comm_id: int, app_id: str) -> CommTrace:
+        if comm_id not in self._traces:
+            self._traces[comm_id] = CommTrace(comm_id=comm_id, app_id=app_id)
+        return self._traces[comm_id]
+
+    def get(self, comm_id: int) -> Optional[CommTrace]:
+        return self._traces.get(comm_id)
+
+    def traces_of_app(self, app_id: str) -> List[CommTrace]:
+        return [t for t in self._traces.values() if t.app_id == app_id]
+
+    def all(self) -> List[CommTrace]:
+        return list(self._traces.values())

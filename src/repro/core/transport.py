@@ -1,0 +1,164 @@
+"""Transport-engine mechanisms: traffic gating for time-window QoS.
+
+The MCCS transport engine is "responsible for providing the underlying
+mechanisms for scheduling flows on network paths" and, for the traffic
+scheduling (TS) policy, for "allow[ing] other applications to send traffic
+only when the prioritized application is idle" (§4.3, Example 4).
+
+Path pinning is handled by the route-id selectors built into each
+communicator's :class:`~repro.core.communicator.VersionedDataPath`; this
+module supplies the *when* half: a :class:`WindowSchedule` describing when
+an application may transmit, and a :class:`TrafficGateManager` that gates
+and releases the application's live flows on the simulator clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..netsim.engine import FlowSimulator
+from ..netsim.flows import Flow
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class WindowSchedule:
+    """A periodic transmission window.
+
+    Within each period of length ``period`` starting at phase ``t0``, the
+    application may send during ``open_intervals`` (relative offsets).
+    The TS policy computes these windows from the prioritized tenant's
+    trace: everyone else's windows are the prioritized tenant's idle
+    (compute) phases.
+    """
+
+    period: float
+    open_intervals: Tuple[Tuple[float, float], ...]
+    t0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        last_end = 0.0
+        for start, end in self.open_intervals:
+            if not 0.0 <= start < end <= self.period + _EPS:
+                raise ValueError(f"bad interval ({start}, {end})")
+            if start < last_end - _EPS:
+                raise ValueError("intervals must be sorted and disjoint")
+            last_end = end
+
+    def phase(self, t: float) -> float:
+        return (t - self.t0) % self.period
+
+    def is_open(self, t: float) -> bool:
+        p = self.phase(t)
+        return any(s - _EPS <= p < e - _EPS for s, e in self.open_intervals)
+
+    def next_toggle(self, t: float) -> float:
+        """The next absolute time the open/closed state changes."""
+        p = self.phase(t)
+        boundaries: List[float] = []
+        for s, e in self.open_intervals:
+            boundaries.extend((s, e))
+        for b in boundaries:
+            if b > p + _EPS:
+                return t + (b - p)
+        # wrap to the first boundary of the next period
+        first = boundaries[0] if boundaries else self.period
+        return t + (self.period - p) + first
+
+
+def always_open() -> Optional[WindowSchedule]:
+    """Placeholder: no schedule means the app may always transmit."""
+    return None
+
+
+class TrafficGateManager:
+    """Gates tenant flows according to per-application window schedules.
+
+    The manager is shared by all transport engines of a deployment; each
+    communicator registers its flows here at injection time, and policy
+    code installs or clears schedules through
+    :meth:`TrafficGateManager.set_schedule`.
+    """
+
+    def __init__(self, sim: FlowSimulator) -> None:
+        self._sim = sim
+        self._schedules: Dict[str, WindowSchedule] = {}
+        self._live: Dict[str, Set[Flow]] = {}
+        self._ticking: Set[str] = set()
+        self.gate_transitions = 0
+
+    # -- policy interface -------------------------------------------------
+    def set_schedule(self, app_id: str, schedule: Optional[WindowSchedule]) -> None:
+        """Install (or clear, with ``None``) an app's transmission windows."""
+        if schedule is None:
+            self._schedules.pop(app_id, None)
+            for flow in self._flows_of(app_id):
+                self._sim.gate_flow(flow, False)
+            return
+        self._schedules[app_id] = schedule
+        self._apply(app_id)
+        self._ensure_ticker(app_id)
+
+    def schedule_of(self, app_id: str) -> Optional[WindowSchedule]:
+        return self._schedules.get(app_id)
+
+    # -- transport interface ------------------------------------------------
+    def register(self, flow: Flow) -> None:
+        """Adopt a freshly injected flow; gate it if its app is closed."""
+        app_id = flow.job_id or ""
+        self._live.setdefault(app_id, set()).add(flow)
+        schedule = self._schedules.get(app_id)
+        if schedule is not None:
+            if not schedule.is_open(self._sim.now):
+                self._sim.gate_flow(flow, True)
+                self.gate_transitions += 1
+            self._ensure_ticker(app_id)
+
+    def gate_for(self, app_id: str):
+        """A per-app registration facade matching the FlowGate protocol."""
+        manager = self
+
+        class _Gate:
+            def register(self, flow: Flow) -> None:
+                manager.register(flow)
+
+        return _Gate()
+
+    # -- internals ---------------------------------------------------------
+    def _flows_of(self, app_id: str) -> List[Flow]:
+        flows = self._live.get(app_id, set())
+        stale = {f for f in flows if f.completed}
+        flows -= stale
+        return list(flows)
+
+    def _apply(self, app_id: str) -> None:
+        schedule = self._schedules.get(app_id)
+        open_now = schedule is None or schedule.is_open(self._sim.now)
+        for flow in self._flows_of(app_id):
+            if flow.gated == open_now:
+                self._sim.gate_flow(flow, not open_now)
+                self.gate_transitions += 1
+
+    def _ensure_ticker(self, app_id: str) -> None:
+        if app_id in self._ticking:
+            return
+        self._ticking.add(app_id)
+        self._tick(app_id)
+
+    def _tick(self, app_id: str) -> None:
+        schedule = self._schedules.get(app_id)
+        if schedule is None:
+            self._ticking.discard(app_id)
+            return
+        self._apply(app_id)
+        if not self._flows_of(app_id):
+            # Nothing live to gate: let the ticker sleep so the simulator
+            # can drain; it restarts on the app's next flow registration.
+            self._ticking.discard(app_id)
+            return
+        when = schedule.next_toggle(self._sim.now)
+        self._sim.schedule(when, lambda: self._tick(app_id))

@@ -1,0 +1,46 @@
+"""Public exception surface of the repro package.
+
+All library-raised exceptions share the :class:`ReproError` root, so
+applications can write ``except repro.errors.ReproError`` and know they
+caught everything this package throws.  (The definitions live in
+``repro.netsim.errors`` for layering reasons; this module is the stable
+import location.)
+"""
+
+from .netsim.errors import (
+    AllocationError,
+    ClusterError,
+    CollectiveError,
+    CommunicatorError,
+    InvalidBufferError,
+    MccsError,
+    NetSimError,
+    NoPathError,
+    PlacementError,
+    PolicyError,
+    ReconfigurationError,
+    ReproError,
+    SimulationError,
+    UnknownLinkError,
+    UnknownNodeError,
+)
+from .cluster.ipc import IpcError
+
+__all__ = [
+    "AllocationError",
+    "ClusterError",
+    "CollectiveError",
+    "CommunicatorError",
+    "InvalidBufferError",
+    "IpcError",
+    "MccsError",
+    "NetSimError",
+    "NoPathError",
+    "PlacementError",
+    "PolicyError",
+    "ReconfigurationError",
+    "ReproError",
+    "SimulationError",
+    "UnknownLinkError",
+    "UnknownNodeError",
+]

@@ -1,0 +1,58 @@
+"""Experiment harness: one module per results figure of the paper.
+
+Each ``figNN_*`` module exposes a parameterized ``run_*`` API (used by the
+benchmarks and tests) and a ``main()`` that prints the paper's rows at
+full scale.  ``python -m repro.experiments`` runs every figure in order.
+"""
+
+from . import (
+    fig02_breakdown,
+    fig03_crossrack,
+    fig06_single_app,
+    fig07_reconfig,
+    fig08_multi_app,
+    fig09_qos,
+    fig10_dynamic,
+    fig11_simulation,
+)
+from .report import Stat, cdf_points, format_table, geometric_mean, print_table
+from .setups import (
+    TenantPlacement,
+    multi_app_setups,
+    naive_tenant_order,
+    qos_setup,
+    single_app_gpus,
+)
+
+ALL_FIGURES = {
+    "fig02": fig02_breakdown,
+    "fig03": fig03_crossrack,
+    "fig06": fig06_single_app,
+    "fig07": fig07_reconfig,
+    "fig08": fig08_multi_app,
+    "fig09": fig09_qos,
+    "fig10": fig10_dynamic,
+    "fig11": fig11_simulation,
+}
+
+__all__ = [
+    "ALL_FIGURES",
+    "Stat",
+    "TenantPlacement",
+    "cdf_points",
+    "fig02_breakdown",
+    "fig03_crossrack",
+    "fig06_single_app",
+    "fig07_reconfig",
+    "fig08_multi_app",
+    "fig09_qos",
+    "fig10_dynamic",
+    "fig11_simulation",
+    "format_table",
+    "geometric_mean",
+    "multi_app_setups",
+    "naive_tenant_order",
+    "print_table",
+    "qos_setup",
+    "single_app_gpus",
+]

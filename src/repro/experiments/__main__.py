@@ -1,0 +1,34 @@
+"""Run every figure's experiment from the command line.
+
+Usage::
+
+    python -m repro.experiments            # all figures, default scale
+    python -m repro.experiments fig07 fig08
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_FIGURES
+
+
+def main(argv: list) -> int:
+    names = argv or list(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(ALL_FIGURES)}")
+        return 2
+    for name in names:
+        module = ALL_FIGURES[name]
+        print(f"{'=' * 72}\n{name}: {module.__doc__.strip().splitlines()[0]}\n{'=' * 72}")
+        started = time.perf_counter()
+        module.main()
+        print(f"[{name} completed in {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,181 @@
+"""Figure 6 — single-application AllGather/AllReduce algorithm bandwidth.
+
+Four systems on the Figure 5a testbed, 32 KB to 512 MB (output-buffer
+sizes), 4-GPU and 8-GPU setups:
+
+* **NCCL** — rank order as a topology-blind tenant would assign it
+  (rack-alternating host enumeration), ECMP routing;
+* **NCCL(OR)** — NCCL manually fed the locality-optimal ring (the paper's
+  overhead baseline), ECMP routing;
+* **MCCS(-FA)** — MCCS with the locality ring but no flow assignment
+  (ECMP), isolating MCCS's datapath latency overhead;
+* **MCCS** — the full system: locality ring + fair flow assignment.
+
+Expected shape (§6.2): MCCS(-FA) loses clearly to NCCL(OR) below 8 MB
+(the 50-80 us shim->service datapath) and converges above; NCCL(OR) beats
+NCCL by ~1.5-1.8x at 512 MB; MCCS beats everything at large sizes (up to
+~2.4x over NCCL on 8 GPUs) because FFA removes ECMP collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..baselines.nccl import NcclCommunicator
+from ..cluster.specs import testbed_cluster
+from ..collectives.types import Collective
+from ..core.controller import CentralManager
+from ..core.deployment import MccsDeployment
+from ..core.policies.ring_order import locality_ring_order
+from ..netsim.units import KB, MB, format_size
+from .report import Stat, print_table
+from .setups import naive_tenant_order, single_app_gpus
+
+SYSTEMS = ("nccl", "nccl_or", "mccs_nofa", "mccs")
+SYSTEM_LABELS = {
+    "nccl": "NCCL",
+    "nccl_or": "NCCL(OR)",
+    "mccs_nofa": "MCCS(-FA)",
+    "mccs": "MCCS",
+}
+PAPER_SIZES = (
+    32 * KB,
+    128 * KB,
+    512 * KB,
+    2 * MB,
+    8 * MB,
+    32 * MB,
+    128 * MB,
+    512 * MB,
+)
+
+
+@dataclass
+class SingleAppResult:
+    """Mean algorithm bandwidth (GB/s) per (setup, kind, system, size)."""
+
+    setup: str
+    kind: Collective
+    system: str
+    size: int
+    stat: Stat
+
+
+def _issue_fn(
+    system: str, setup: str, trial: int
+) -> Tuple[Callable[[Collective, int, Callable], None], Callable[[], float]]:
+    """Build one system instance; returns (issue, run_sim)."""
+    cluster = testbed_cluster()
+    gpus = single_app_gpus(cluster, setup)
+    seed = trial * 1009 + 17
+    if system in ("nccl", "nccl_or"):
+        order = (
+            naive_tenant_order(cluster, gpus)
+            if system == "nccl"
+            else locality_ring_order(cluster, gpus)
+        )
+        comm = NcclCommunicator(cluster, gpus, ring_order=order, ecmp_seed=seed)
+
+        def issue(kind: Collective, out_bytes: int, on_complete) -> None:
+            method = {
+                Collective.ALL_REDUCE: comm.all_reduce,
+                Collective.ALL_GATHER: comm.all_gather,
+            }[kind]
+            method(out_bytes, on_complete=lambda op, now: on_complete(op.duration()))
+
+        return issue, lambda: cluster.sim.run()
+    if system in ("mccs_nofa", "mccs"):
+        deployment = MccsDeployment(cluster, ecmp_seed=seed)
+        manager = CentralManager(deployment)
+        state = manager.admit("A", gpus)
+        if system == "mccs":
+            manager.apply_flow_policy("ffa")
+            deployment.run()
+        client = deployment.connect("A")
+        comm = client.adopt_communicator(state.comm_id)
+
+        def issue(kind: Collective, out_bytes: int, on_complete) -> None:
+            method = {
+                Collective.ALL_REDUCE: client.all_reduce,
+                Collective.ALL_GATHER: client.all_gather,
+            }[kind]
+            method(
+                comm,
+                out_bytes,
+                on_complete=lambda inst, now: on_complete(inst.duration()),
+            )
+
+        return issue, lambda: deployment.run()
+    raise ValueError(f"unknown system {system!r}")
+
+
+def run_fig06(
+    *,
+    setups: Sequence[str] = ("4gpu", "8gpu"),
+    kinds: Sequence[Collective] = (Collective.ALL_GATHER, Collective.ALL_REDUCE),
+    sizes: Sequence[int] = PAPER_SIZES,
+    systems: Sequence[str] = SYSTEMS,
+    trials: int = 5,
+    iters: int = 3,
+) -> List[SingleAppResult]:
+    """Sweep the Figure 6 grid; returns one result row per cell."""
+    results: List[SingleAppResult] = []
+    for setup in setups:
+        for kind in kinds:
+            for system in systems:
+                samples: Dict[int, List[float]] = {size: [] for size in sizes}
+                for trial in range(trials):
+                    issue, run = _issue_fn(system, setup, trial)
+                    for size in sizes:
+                        for _ in range(iters):
+                            durations: List[float] = []
+                            issue(kind, size, durations.append)
+                            run()
+                            samples[size].append(size / durations[0] / 1e9)
+                for size in sizes:
+                    results.append(
+                        SingleAppResult(
+                            setup=setup,
+                            kind=kind,
+                            system=system,
+                            size=size,
+                            stat=Stat.of(samples[size]),
+                        )
+                    )
+    return results
+
+
+def as_tables(results: Sequence[SingleAppResult]) -> Dict[Tuple[str, Collective], List[List[str]]]:
+    """Group rows into one table per (setup, kind) panel."""
+    panels: Dict[Tuple[str, Collective], Dict[int, Dict[str, Stat]]] = {}
+    for r in results:
+        panels.setdefault((r.setup, r.kind), {}).setdefault(r.size, {})[r.system] = r.stat
+    tables = {}
+    for key, by_size in panels.items():
+        systems = [s for s in SYSTEMS if any(s in row for row in by_size.values())]
+        rows = []
+        for size in sorted(by_size):
+            row = [format_size(size)]
+            for system in systems:
+                stat = by_size[size].get(system)
+                row.append(f"{stat.mean:.2f}" if stat else "-")
+            rows.append(row)
+        tables[key] = [["Size"] + [SYSTEM_LABELS[s] for s in systems]] + rows
+    return tables
+
+
+def main(trials: int = 5, iters: int = 3) -> None:
+    results = run_fig06(trials=trials, iters=iters)
+    for (setup, kind), table in sorted(
+        as_tables(results).items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        print_table(
+            table[0],
+            table[1:],
+            title=f"Figure 6 — {kind} algorithm bandwidth (GB/s), {setup} setup",
+        )
+
+
+if __name__ == "__main__":
+    main()

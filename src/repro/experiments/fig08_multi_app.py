@@ -1,0 +1,190 @@
+"""Figure 8 — multi-application bus bandwidth under four placements.
+
+All tenants of a setup run 128 MB AllReduce loops concurrently; we report
+each tenant's *bus bandwidth* (nccl-tests normalization — independent of
+algorithm and participant count, so it reflects each tenant's share of
+the hardware bottleneck).  Four systems, as in Figure 6, with MCCS(-FFA)
+being the ablation without fair flow assignment.
+
+Expected shape (§6.3): MCCS achieves both the highest aggregate bus
+bandwidth and fairness — equal splits in setups 1, 2 and 4, and a 2:1:1
+split in setup 3 where tenant A owns twice the NICs per host; the ECMP
+variants are unfair (the paper measures 1.7:1 instead of 2:1 in setup 3)
+and lose aggregate bandwidth to flow collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..baselines.nccl import NcclCommunicator
+from ..cluster.specs import testbed_cluster
+from ..collectives.bandwidth import busbw_factor
+from ..collectives.types import Collective
+from ..core.controller import CentralManager
+from ..core.deployment import MccsDeployment
+from ..core.policies.ring_order import locality_ring_order
+from ..netsim.units import MB
+from .report import Stat, print_table
+from .setups import TenantPlacement, multi_app_setups, naive_tenant_order
+
+SYSTEMS = ("nccl", "nccl_or", "mccs_noffa", "mccs")
+SYSTEM_LABELS = {
+    "nccl": "NCCL",
+    "nccl_or": "NCCL(OR)",
+    "mccs_noffa": "MCCS(-FFA)",
+    "mccs": "MCCS",
+}
+
+
+@dataclass
+class MultiAppResult:
+    """Bus bandwidth (GB/s) of one tenant under one system and setup."""
+
+    setup: str
+    system: str
+    app_id: str
+    stat: Stat
+
+
+def _run_once(
+    setup_name: str,
+    placements: Sequence[TenantPlacement],
+    system: str,
+    seed: int,
+    *,
+    op_bytes: int,
+    duration: float,
+    warmup: float,
+) -> Dict[str, float]:
+    """One trial: all tenants loop concurrently; mean busbw per tenant."""
+    cluster = testbed_cluster()
+    samples: Dict[str, List[float]] = {p.app_id: [] for p in placements}
+    issuers: List[Tuple[str, int, Callable[[Callable[[float], None]], None]]] = []
+
+    if system in ("nccl", "nccl_or"):
+        for idx, placement in enumerate(placements):
+            gpus = placement.resolve(cluster)
+            order = (
+                naive_tenant_order(cluster, gpus)
+                if system == "nccl"
+                else locality_ring_order(cluster, gpus)
+            )
+            comm = NcclCommunicator(
+                cluster,
+                gpus,
+                ring_order=order,
+                ecmp_seed=seed * 131 + idx,
+                job_id=placement.app_id,
+            )
+
+            def issue(cb, comm=comm):
+                comm.all_reduce(op_bytes, on_complete=lambda op, now: cb(op.duration()))
+
+            issuers.append((placement.app_id, len(gpus), issue))
+    else:
+        deployment = MccsDeployment(cluster, ecmp_seed=seed * 131)
+        manager = CentralManager(deployment)
+        for placement in placements:
+            state = manager.admit(placement.app_id, placement.resolve(cluster))
+            client = deployment.connect(placement.app_id)
+            comm = client.adopt_communicator(state.comm_id)
+
+            def issue(cb, client=client, comm=comm):
+                client.all_reduce(
+                    comm, op_bytes, on_complete=lambda inst, now: cb(inst.duration())
+                )
+
+            issuers.append((placement.app_id, len(placement.gpus), issue))
+        if system == "mccs":
+            manager.apply_flow_policy("ffa")
+            cluster.sim.run()
+
+    def make_chain(app_id: str, world: int, issue) -> Callable[[float], None]:
+        factor = busbw_factor(Collective.ALL_REDUCE, world)
+
+        def chain(duration_s: float) -> None:
+            now = cluster.sim.now
+            if now >= warmup:
+                samples[app_id].append(factor * op_bytes / duration_s / 1e9)
+            if now < duration:
+                issue(chain)
+
+        return chain
+
+    for app_id, world, issue in issuers:
+        issue(make_chain(app_id, world, issue))
+    cluster.sim.run(until=duration + 2.0)
+    return {
+        app_id: sum(vals) / len(vals) for app_id, vals in samples.items() if vals
+    }
+
+
+def run_fig08(
+    *,
+    setups: Sequence[str] = ("setup1", "setup2", "setup3", "setup4"),
+    systems: Sequence[str] = SYSTEMS,
+    trials: int = 5,
+    op_bytes: int = 128 * MB,
+    duration: float = 2.0,
+    warmup: float = 0.3,
+) -> List[MultiAppResult]:
+    """Sweep the Figure 8 grid."""
+    all_setups = multi_app_setups()
+    results: List[MultiAppResult] = []
+    for setup_name in setups:
+        placements = all_setups[setup_name]
+        for system in systems:
+            per_app: Dict[str, List[float]] = {p.app_id: [] for p in placements}
+            for trial in range(trials):
+                means = _run_once(
+                    setup_name,
+                    placements,
+                    system,
+                    trial,
+                    op_bytes=op_bytes,
+                    duration=duration,
+                    warmup=warmup,
+                )
+                for app_id, value in means.items():
+                    per_app[app_id].append(value)
+            for placement in placements:
+                results.append(
+                    MultiAppResult(
+                        setup=setup_name,
+                        system=system,
+                        app_id=placement.app_id,
+                        stat=Stat.of(per_app[placement.app_id]),
+                    )
+                )
+    return results
+
+
+def main(trials: int = 5) -> None:
+    results = run_fig08(trials=trials)
+    by_setup: Dict[str, Dict[str, Dict[str, Stat]]] = {}
+    for r in results:
+        by_setup.setdefault(r.setup, {}).setdefault(r.system, {})[r.app_id] = r.stat
+    for setup_name in sorted(by_setup):
+        apps = sorted({a for sys_rows in by_setup[setup_name].values() for a in sys_rows})
+        rows = []
+        for system in SYSTEMS:
+            if system not in by_setup[setup_name]:
+                continue
+            stats = by_setup[setup_name][system]
+            aggregate = sum(s.mean for s in stats.values())
+            rows.append(
+                [SYSTEM_LABELS[system]]
+                + [f"{stats[a].mean:.2f}" if a in stats else "-" for a in apps]
+                + [f"{aggregate:.2f}"]
+            )
+        print_table(
+            ["System"] + [f"App {a}" for a in apps] + ["Aggregate"],
+            rows,
+            title=f"Figure 8 — 128MB AllReduce bus bandwidth (GB/s), {setup_name}",
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,212 @@
+"""Figure 9 — training-workload JCT under scheduling and QoS policies.
+
+Setup 3 of Figure 5b hosts three tenants (§6.4): A trains VGG-19 from
+scratch on 4 GPUs (data parallel), B and C fine-tune GPT models on 2 GPUs
+each (tensor parallel).  Job completion time is reported for four
+solutions, normalized to FFA:
+
+* **ECMP** — MCCS datapath but hash-based routing (high variance across
+  trials, everyone slower);
+* **FFA** — fair flow assignment (the normalization baseline);
+* **PFA** — one inter-rack route dedicated to A (paper: A ~13% faster
+  than FFA, 34% faster than ECMP);
+* **PFA+TS** — additionally, C's traffic is time-windowed into B's idle
+  cycles (paper: B ~16% faster than PFA, A unaffected).
+
+The replay runs with the burst-interference extension enabled
+(see ``FlowSimulator.interference_penalty``): sharing-induced degradation
+beyond fluid fairness is exactly what PFA's isolation removes, and is
+documented as a modelling substitution in DESIGN.md.  TS needs an offline
+profile of B (the paper profiles applications offline, §5); we obtain it
+from a profiling run under PFA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.specs import testbed_cluster
+from ..core.controller import CentralManager
+from ..core.deployment import MccsDeployment
+from ..core.policies.ts import compute_traffic_schedule
+from ..core.transport import WindowSchedule
+from ..workloads.generator import MccsIssuer, TrafficGenerator
+from ..workloads.traces import gpt_tp_trace, vgg19_dp_trace
+from .report import Stat, print_table
+from .setups import qos_setup
+
+SOLUTIONS = ("ecmp", "ffa", "pfa", "pfa+ts")
+
+#: Workload sizes chosen so the three tenants finish on comparable
+#: horizons (A trains from scratch; B and C fine-tune).
+DEFAULT_ITERATIONS = {"A": 16, "B": 12, "C": 12}
+DEFAULT_PENALTY = 0.30
+
+
+@dataclass
+class QosResult:
+    """JCT of one tenant under one solution (seconds)."""
+
+    solution: str
+    app_id: str
+    stat: Stat
+
+
+def _run_once(
+    solution: str,
+    seed: int,
+    *,
+    iterations: Dict[str, int],
+    penalty: float,
+    ts_schedule: Optional[WindowSchedule] = None,
+) -> Dict[str, float]:
+    """One trial; returns per-app JCT."""
+    cluster = testbed_cluster(interference_penalty=penalty)
+    deployment = MccsDeployment(cluster, ecmp_seed=seed * 7919)
+    manager = CentralManager(deployment)
+    placements = qos_setup()
+    generators: Dict[str, TrafficGenerator] = {}
+    for placement in placements:
+        state = manager.admit(placement.app_id, placement.resolve(cluster))
+        client = deployment.connect(placement.app_id)
+        comm = client.adopt_communicator(state.comm_id)
+        if placement.app_id == "A":
+            trace = vgg19_dp_trace(iterations["A"])
+        else:
+            trace = gpt_tp_trace(iterations[placement.app_id])
+        stream = client.create_stream(placement.resolve(cluster)[0])
+        generators[placement.app_id] = TrafficGenerator(
+            cluster.sim,
+            MccsIssuer(client, comm),
+            trace,
+            stream,
+            name=placement.app_id,
+        )
+    if solution == "ecmp":
+        manager.apply_flow_policy("ecmp")
+    elif solution == "ffa":
+        manager.apply_flow_policy("ffa")
+    elif solution in ("pfa", "pfa+ts"):
+        manager.apply_flow_policy(
+            "pfa", high_priority_apps=["A"], reserved_routes={0}
+        )
+    else:
+        raise ValueError(f"unknown solution {solution!r}")
+    deployment.run()  # drain the reconfigurations before traffic starts
+    if solution == "pfa+ts":
+        if ts_schedule is None:
+            raise ValueError("pfa+ts needs an offline TS schedule for B")
+        # Prioritize B over C without affecting A: only C is gated.
+        deployment.set_traffic_schedule("C", ts_schedule)
+    for generator in generators.values():
+        generator.start(at=cluster.sim.now)
+    deployment.run()
+    return {app: gen.stats.jct() for app, gen in generators.items()}
+
+
+def profile_ts_schedule(
+    seed: int,
+    *,
+    iterations: Dict[str, int],
+    penalty: float,
+    guard: float = 0.0002,
+) -> WindowSchedule:
+    """Offline profiling pass for TS.
+
+    The paper "manually profile[s] applications offline" (§5): the
+    prioritized tenant (B) is profiled *unobstructed* — here, running
+    under PFA with A present (A never shares B's route) but without C —
+    and the resulting busy/idle windows are what TS installs for C.
+    Because B's replay is strictly periodic when unobstructed, the
+    projected phase stays valid in the measured runs.
+    """
+    cluster = testbed_cluster(interference_penalty=penalty)
+    deployment = MccsDeployment(cluster, ecmp_seed=seed * 7919)
+    manager = CentralManager(deployment)
+    placements = [p for p in qos_setup() if p.app_id in ("A", "B")]
+    state_b = None
+    for placement in placements:
+        state = manager.admit(placement.app_id, placement.resolve(cluster))
+        if placement.app_id == "B":
+            state_b = state
+        client = deployment.connect(placement.app_id)
+        comm = client.adopt_communicator(state.comm_id)
+        trace = (
+            vgg19_dp_trace(max(iterations["A"] // 4, 2))
+            if placement.app_id == "A"
+            else gpt_tp_trace(max(iterations[placement.app_id] // 4, 2))
+        )
+        stream = client.create_stream(placement.resolve(cluster)[0])
+        TrafficGenerator(
+            cluster.sim, MccsIssuer(client, comm), trace, stream,
+            name=placement.app_id,
+        ).start()
+    manager.apply_flow_policy("pfa", high_priority_apps=["A"], reserved_routes={0})
+    deployment.run()
+    assert state_b is not None
+    _, schedule = compute_traffic_schedule(
+        deployment.trace(state_b.comm_id), guard=guard
+    )
+    return schedule
+
+
+def run_fig09(
+    *,
+    trials: int = 4,
+    iterations: Optional[Dict[str, int]] = None,
+    penalty: float = DEFAULT_PENALTY,
+) -> Tuple[List[QosResult], Dict[str, float]]:
+    """Sweep the four solutions.
+
+    Returns the per-(solution, app) JCT stats and the FFA mean JCTs used
+    for normalization.
+    """
+    iterations = dict(iterations or DEFAULT_ITERATIONS)
+    samples: Dict[Tuple[str, str], List[float]] = {}
+    ts_schedule = profile_ts_schedule(0, iterations=iterations, penalty=penalty)
+    for solution in SOLUTIONS:
+        for trial in range(trials):
+            jcts = _run_once(
+                solution,
+                trial,
+                iterations=iterations,
+                penalty=penalty,
+                ts_schedule=ts_schedule if solution == "pfa+ts" else None,
+            )
+            for app_id, jct in jcts.items():
+                samples.setdefault((solution, app_id), []).append(jct)
+    results = [
+        QosResult(solution=sol, app_id=app, stat=Stat.of(vals))
+        for (sol, app), vals in sorted(samples.items())
+    ]
+    ffa_means = {
+        app: Stat.of(samples[("ffa", app)]).mean for app in ("A", "B", "C")
+    }
+    return results, ffa_means
+
+
+def main(trials: int = 4) -> None:
+    results, ffa_means = run_fig09(trials=trials)
+    by_solution: Dict[str, Dict[str, Stat]] = {}
+    for r in results:
+        by_solution.setdefault(r.solution, {})[r.app_id] = r.stat
+    rows = []
+    for solution in SOLUTIONS:
+        stats = by_solution[solution]
+        rows.append(
+            [solution.upper()]
+            + [
+                f"{stats[a].mean / ffa_means[a]:.2f}"
+                for a in ("A", "B", "C")
+            ]
+        )
+    print_table(
+        ["Solution", "VGG (A)", "GPT (B)", "GPT (C)"],
+        rows,
+        title="Figure 9 — normalized JCT (lower is better; FFA = 1.0)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,340 @@
+"""Discrete-event fluid flow simulator.
+
+The engine advances a single simulated clock over two kinds of occurrences:
+
+* **flow completions** — derived from the current weighted max-min rate
+  allocation (recomputed lazily whenever the active flow set changes), and
+* **scheduled callbacks** — arbitrary control-plane events (compute kernels
+  finishing, reconfiguration commands arriving, jobs being submitted...).
+
+Everything above the network (GPU streams, the MCCS engines, the traffic
+generator) is driven by callbacks on this clock, so the whole reproduction
+shares one coherent notion of time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import SimulationError
+from .fairness import FairnessSolver
+from .flows import Flow
+from .topology import Topology
+
+# Completion slack: flows within this many bytes of done are completed.
+_BYTE_EPS = 1e-6
+# Two timestamps closer than this are treated as simultaneous.
+_TIME_EPS = 1e-12
+
+EventCallback = Callable[[], None]
+
+
+class FlowSimulator:
+    """Fluid flow-level network simulator with max-min fair sharing.
+
+    Args:
+        topology: The network graph; link capacities come from here.
+        start_time: Initial clock value (seconds).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        start_time: float = 0.0,
+        interference_penalty: float = 0.0,
+    ) -> None:
+        """Args:
+            topology: The network graph.
+            start_time: Initial clock value.
+            interference_penalty: Optional burst-interference model.  Pure
+                fluid max-min fairness misses the switch-buffer/PFC-level
+                degradation that bursty tenants inflict on each other when
+                sharing a link (the effect CASSINI-style interleaving, and
+                the paper's PFA/TS results, exploit).  When > 0, a link
+                carrying active flows of two or more distinct jobs has its
+                effective capacity scaled by ``1 - interference_penalty``.
+                0 (default) is the paper's §6.5 per-flow-fairness model.
+        """
+        if not 0.0 <= interference_penalty < 1.0:
+            raise ValueError("interference_penalty must be in [0, 1)")
+        self.topology = topology
+        self.now = start_time
+        self.interference_penalty = interference_penalty
+        self._capacities: Dict[str, float] = {
+            link_id: link.capacity for link_id, link in topology.links.items()
+        }
+        self._active: Dict[str, Flow] = {}
+        self._events: List[Tuple[float, int, EventCallback]] = []
+        self._event_seq = itertools.count()
+        self._dirty = True
+        self._solver: Optional[FairnessSolver] = None
+        self.flows_completed = 0
+        self.rate_recomputations = 0
+
+    # ------------------------------------------------------------------
+    # flow management
+    # ------------------------------------------------------------------
+    def add_flow(
+        self,
+        size: float,
+        path: Sequence[str],
+        *,
+        job_id: Optional[str] = None,
+        weight: float = 1.0,
+        gated: bool = False,
+        on_complete: Optional[Callable[[Flow, float], None]] = None,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> Flow:
+        """Inject a flow into the network at the current time."""
+        self.topology.validate_path(path)
+        flow = Flow(
+            size=size,
+            path=tuple(path),
+            job_id=job_id,
+            weight=weight,
+            gated=gated,
+            on_complete=on_complete,
+            tags=dict(tags or {}),
+        )
+        flow.start_time = self.now
+        self._active[flow.flow_id] = flow
+        self._dirty = True
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Remove an in-flight flow without firing its completion callback.
+
+        Used to stop background flows and to tear down connections during
+        reconfiguration.
+        """
+        if flow.flow_id in self._active:
+            del self._active[flow.flow_id]
+            self._dirty = True
+
+    def gate_flow(self, flow: Flow, gated: bool) -> None:
+        """Pause (``gated=True``) or resume a flow.
+
+        This is the mechanism behind the time-window traffic scheduling
+        policy: the MCCS transport engine withholds a tenant's traffic
+        while a prioritized tenant is busy.
+        """
+        if flow.gated != gated:
+            flow.gated = gated
+            self._dirty = True
+
+    def active_flows(self) -> List[Flow]:
+        """All flows currently in the network (including gated ones)."""
+        return list(self._active.values())
+
+    def rate_of(self, flow: Flow) -> float:
+        """Current allocated rate of ``flow`` in bytes/s."""
+        self._ensure_rates()
+        return flow.rate
+
+    def set_link_capacity(self, link_id: str, capacity: float) -> None:
+        """Change a link's capacity at the current time (rate limiting)."""
+        if link_id not in self._capacities:
+            raise KeyError(f"unknown link {link_id!r}")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacities[link_id] = capacity
+        self._dirty = True
+
+    def link_capacity(self, link_id: str) -> float:
+        return self._capacities[link_id]
+
+    def link_utilization(self, min_utilization: float = 0.0) -> Dict[str, float]:
+        """Current utilization (allocated rate / capacity) per link.
+
+        This is the "link utilization" signal the paper's provider keeps
+        confidential but consumes internally for policy decisions; only
+        links at or above ``min_utilization`` are reported.
+        """
+        self._ensure_rates()
+        loads: Dict[str, float] = {}
+        for flow in self._active.values():
+            if flow.rate <= 0:
+                continue
+            for link in set(flow.path):
+                loads[link] = loads.get(link, 0.0) + flow.rate
+        return {
+            link: load / self._capacities[link]
+            for link, load in loads.items()
+            if load / self._capacities[link] >= min_utilization
+        }
+
+    # ------------------------------------------------------------------
+    # event management
+    # ------------------------------------------------------------------
+    def schedule(self, when: float, callback: EventCallback) -> None:
+        """Run ``callback`` at absolute time ``when`` (clamped to now)."""
+        when = max(when, self.now)
+        heapq.heappush(self._events, (when, next(self._event_seq), callback))
+
+    def call_in(self, delay: float, callback: EventCallback) -> None:
+        """Run ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule(self.now + delay, callback)
+
+    def when_all(
+        self, flows: Iterable[Flow], callback: Callable[[float], None]
+    ) -> None:
+        """Fire ``callback(now)`` once every flow in ``flows`` completed.
+
+        Completion callbacks already attached to the flows keep working;
+        this wraps them.  Used to detect collective completion (a
+        collective finishes when its slowest flow finishes).
+        """
+        pending = [f for f in flows if not f.completed]
+        if not pending:
+            self.schedule(self.now, lambda: callback(self.now))
+            return
+        remaining = {"count": len(pending)}
+
+        def make_hook(flow: Flow) -> Callable[[Flow, float], None]:
+            previous = flow.on_complete
+
+            def hook(f: Flow, t: float) -> None:
+                if previous is not None:
+                    previous(f, t)
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    callback(t)
+
+            return hook
+
+        for flow in pending:
+            flow.on_complete = make_hook(flow)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation.
+
+        Args:
+            until: Stop once the clock would pass this absolute time; the
+                clock is left exactly at ``until``.  ``None`` runs to
+                quiescence (no events, no active ungated flows).
+
+        Returns:
+            The clock value when the loop stopped.
+        """
+        while True:
+            self._ensure_rates()
+            next_completion, finishing = self._next_completion()
+            next_event = self._events[0][0] if self._events else math.inf
+            t = min(next_completion, next_event)
+            if math.isinf(t):
+                if until is not None and until > self.now:
+                    self._advance_to(until)
+                self._check_quiescent()
+                return self.now
+            if until is not None and t > until:
+                self._advance_to(max(until, self.now))
+                return self.now
+            self._advance_to(t)
+            if next_completion <= next_event + _TIME_EPS:
+                self._complete_flows(finishing)
+            self._fire_due_events()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_rates(self) -> None:
+        if not self._dirty:
+            return
+        flows = list(self._active.values())
+        solver = FairnessSolver(flows, self._effective_capacities(flows))
+        rates = solver.solve()
+        for flow in flows:
+            flow.rate = rates[flow.flow_id]
+        self._dirty = False
+        self.rate_recomputations += 1
+
+    def _effective_capacities(self, flows: List[Flow]) -> Dict[str, float]:
+        """Per-recompute capacities, with the interference model applied.
+
+        Links shared by active flows of two or more distinct jobs lose
+        ``interference_penalty`` of their capacity (see ``__init__``).
+        """
+        if self.interference_penalty <= 0:
+            return self._capacities
+        jobs_on_link: Dict[str, set] = {}
+        for flow in flows:
+            if not flow.active:
+                continue
+            for link in set(flow.path):
+                jobs_on_link.setdefault(link, set()).add(flow.job_id)
+        scale = 1.0 - self.interference_penalty
+        capacities = dict(self._capacities)
+        for link, jobs in jobs_on_link.items():
+            if len(jobs) >= 2:
+                capacities[link] *= scale
+        return capacities
+
+    def _next_completion(self) -> Tuple[float, List[Flow]]:
+        """Earliest completion time and every flow finishing then."""
+        best = math.inf
+        for flow in self._active.values():
+            if not flow.active or flow.rate <= 0:
+                continue
+            eta = self.now + flow.remaining / flow.rate
+            if eta < best:
+                best = eta
+        if math.isinf(best):
+            return best, []
+        finishing = []
+        for flow in self._active.values():
+            if not flow.active or flow.rate <= 0:
+                continue
+            eta = self.now + flow.remaining / flow.rate
+            if eta <= best + _TIME_EPS:
+                finishing.append(flow)
+        return best, finishing
+
+    def _advance_to(self, t: float) -> None:
+        if t < self.now - _TIME_EPS:
+            raise SimulationError(f"time went backwards: {t} < {self.now}")
+        dt = max(t - self.now, 0.0)
+        if dt > 0:
+            for flow in self._active.values():
+                if flow.active and flow.rate > 0:
+                    flow.remaining = max(flow.remaining - flow.rate * dt, 0.0)
+        self.now = t
+
+    def _complete_flows(self, finishing: List[Flow]) -> None:
+        for flow in finishing:
+            if flow.flow_id not in self._active:
+                continue
+            flow.remaining = 0.0
+            flow.end_time = self.now
+            del self._active[flow.flow_id]
+            self.flows_completed += 1
+            self._dirty = True
+        # Fire callbacks after all bookkeeping so that callbacks observe a
+        # consistent network state (and may inject follow-up flows).
+        for flow in finishing:
+            if flow.on_complete is not None:
+                flow.on_complete(flow, self.now)
+
+    def _fire_due_events(self) -> None:
+        while self._events and self._events[0][0] <= self.now + _TIME_EPS:
+            _, _, callback = heapq.heappop(self._events)
+            callback()
+
+    def _check_quiescent(self) -> None:
+        stuck = [
+            f
+            for f in self._active.values()
+            if f.active and f.rate <= 0 and f.remaining > _BYTE_EPS
+        ]
+        if stuck:
+            raise SimulationError(
+                "simulation stalled with active zero-rate flows: "
+                + ", ".join(f.flow_id for f in stuck[:5])
+            )

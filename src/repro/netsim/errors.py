@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+applications can catch everything coming out of the reproduction with a
+single ``except`` clause while still being able to discriminate between the
+network-simulator, cluster-substrate and MCCS-service layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetSimError(ReproError):
+    """Base class for network-simulator errors."""
+
+
+class UnknownNodeError(NetSimError):
+    """A topology lookup referenced a node that does not exist."""
+
+
+class UnknownLinkError(NetSimError):
+    """A flow referenced a link id that is not part of the topology."""
+
+
+class NoPathError(NetSimError):
+    """No path exists between the requested endpoints."""
+
+
+class SimulationError(NetSimError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-substrate errors."""
+
+
+class AllocationError(ClusterError):
+    """A GPU memory allocation failed (out of memory / bad free)."""
+
+
+class PlacementError(ClusterError):
+    """A job could not be placed onto the cluster."""
+
+
+class CollectiveError(ReproError):
+    """Base class for collective-algorithm errors."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of a communicator (rank mismatch, wrong world size...)."""
+
+
+class MccsError(ReproError):
+    """Base class for MCCS service-side errors."""
+
+
+class InvalidBufferError(MccsError):
+    """A collective referenced memory outside any registered allocation.
+
+    This mirrors the validation step of the paper's Section 4.1: "The
+    service will check whether the data buffer user passes is within a
+    valid allocation before performing the operation."
+    """
+
+
+class ReconfigurationError(MccsError):
+    """The reconfiguration barrier protocol was violated."""
+
+
+class PolicyError(MccsError):
+    """A policy module produced an inapplicable decision."""

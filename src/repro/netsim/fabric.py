@@ -1,0 +1,246 @@
+"""Concrete network fabrics used throughout the paper's evaluation.
+
+Three fabrics appear in the paper:
+
+* ``spine_leaf`` — the general folded-Clos used both for the testbed
+  (Figure 5a: 2 spines, 2 leaves, 2 hosts per leaf, 100G host links, 50G
+  fabric links, 2:1 oversubscription) and for the large-scale simulation of
+  §6.5 (16 spines, 24 leaves, 4 hosts per leaf, 8 NICs per host, 200G
+  everywhere).
+* ``switch_ring`` — the 4-switch ring of Figure 7 used to showcase dynamic
+  ring reconfiguration around a background flow.
+* helper naming functions shared with :mod:`repro.cluster` so hosts and
+  NICs agree on endpoint ids.
+
+Node naming conventions (relied upon by the cluster layer):
+
+* spines:   ``spine0``, ``spine1``, ...
+* leaves:   ``leaf0``, ``leaf1``, ...
+* NICs:     ``h{host}.nic{k}`` — these are the flow endpoints.
+* local:    ``h{host}.local.src`` / ``h{host}.local.dst`` joined by the
+  single intra-host link ``h{host}.local`` which models NVLink / host
+  shared-memory channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .topology import Topology
+from .units import gBps, gbps
+
+
+def nic_node(host: int, nic: int) -> str:
+    """Endpoint node id of NIC ``nic`` on host ``host``."""
+    return f"h{host}.nic{nic}"
+
+
+def local_link_id(host: int) -> str:
+    """Id of the intra-host (NVLink / shm) link of ``host``."""
+    return f"h{host}.local"
+
+
+@dataclass
+class FabricSpec:
+    """Parameters of a folded-Clos fabric.
+
+    Defaults match the paper's testbed (Figure 5a): 2 racks of 2 hosts, one
+    100 Gbps NIC per host split into two 50 Gbps virtual NICs by traffic
+    classes, 50 Gbps fabric links, 2:1 oversubscription.
+    """
+
+    num_spines: int = 2
+    num_leaves: int = 2
+    hosts_per_leaf: int = 2
+    nics_per_host: int = 2
+    nic_gbps: float = 50.0
+    fabric_gbps: float = 50.0
+    local_gBps: float = 25.0  # intra-host channel (host shm / NVLink)
+    name: str = "spine-leaf"
+
+    @property
+    def num_hosts(self) -> int:
+        return self.num_leaves * self.hosts_per_leaf
+
+    def leaf_of_host(self, host: int) -> int:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_leaf
+
+    def hosts_of_leaf(self, leaf: int) -> List[int]:
+        return list(
+            range(leaf * self.hosts_per_leaf, (leaf + 1) * self.hosts_per_leaf)
+        )
+
+
+@dataclass
+class Fabric:
+    """A built fabric: the topology plus the spec that produced it."""
+
+    spec: FabricSpec
+    topology: Topology
+    # Equal-cost route count between two hosts in different racks; this is
+    # what the paper calls the "number of network multi-path choices".
+    num_fabric_paths: int = field(default=0)
+
+    def rack_of(self, host: int) -> int:
+        return self.spec.leaf_of_host(host)
+
+    def same_rack(self, host_a: int, host_b: int) -> bool:
+        return self.rack_of(host_a) == self.rack_of(host_b)
+
+
+def spine_leaf(spec: FabricSpec | None = None) -> Fabric:
+    """Build a folded-Clos spine-leaf fabric from ``spec``.
+
+    Every NIC endpoint gets a duplex link to its leaf at ``nic_gbps``;
+    every (leaf, spine) pair gets a duplex link at ``fabric_gbps``.  Each
+    host also gets one intra-host link at ``local_gBps`` carrying NVLink /
+    shared-memory traffic.
+    """
+    spec = spec or FabricSpec()
+    topo = Topology(spec.name)
+    for s in range(spec.num_spines):
+        topo.add_node(f"spine{s}", kind="spine")
+    for l in range(spec.num_leaves):
+        topo.add_node(f"leaf{l}", kind="leaf")
+        for s in range(spec.num_spines):
+            topo.add_duplex_link(f"leaf{l}", f"spine{s}", gbps(spec.fabric_gbps))
+    for host in range(spec.num_hosts):
+        leaf = spec.leaf_of_host(host)
+        for k in range(spec.nics_per_host):
+            node = topo.add_node(nic_node(host, k), kind="nic", host=host, nic=k)
+            del node
+            topo.add_duplex_link(nic_node(host, k), f"leaf{leaf}", gbps(spec.nic_gbps))
+        topo.add_node(f"h{host}.local.src", kind="local", host=host)
+        topo.add_node(f"h{host}.local.dst", kind="local", host=host)
+        topo.add_link(
+            f"h{host}.local.src",
+            f"h{host}.local.dst",
+            gBps(spec.local_gBps),
+            link_id=local_link_id(host),
+        )
+    return Fabric(spec=spec, topology=topo, num_fabric_paths=spec.num_spines)
+
+
+def testbed_fabric() -> Fabric:
+    """The exact testbed of Figure 5a.
+
+    Four nodes, each with 2 GPUs and one 100 Gbps ConnectX-5 NIC split into
+    two 50 Gbps virtual NICs (one per GPU) using IB traffic classes; two
+    leaf and two spine switches with 50 Gbps inter-switch links, i.e. a 2:1
+    oversubscription ratio.
+    """
+    return spine_leaf(
+        FabricSpec(
+            num_spines=2,
+            num_leaves=2,
+            hosts_per_leaf=2,
+            nics_per_host=2,
+            nic_gbps=50.0,
+            fabric_gbps=50.0,
+            name="testbed-fig5a",
+        )
+    )
+
+
+def large_cluster_fabric() -> Fabric:
+    """The §6.5 simulation fabric: 768 GPUs.
+
+    16 spine and 24 leaf switches fully connected; 4 hosts per leaf; each
+    host has 8 GPUs and 8 NICs; all links and NICs are 200 Gbps, yielding a
+    2:1 oversubscription (32 host-facing 200G ports vs 16 spine-facing 200G
+    ports per leaf).
+    """
+    return spine_leaf(
+        FabricSpec(
+            num_spines=16,
+            num_leaves=24,
+            hosts_per_leaf=4,
+            nics_per_host=8,
+            nic_gbps=200.0,
+            fabric_gbps=200.0,
+            # 8-GPU NVSwitch hosts: aggregate intra-host fabric bandwidth
+            # is in the TB/s class, so the network, not NVLink, is the
+            # bottleneck for inter-host rings.
+            local_gBps=2400.0,
+            name="large-cluster-6.5",
+        )
+    )
+
+
+@dataclass
+class RingFabricSpec:
+    """Parameters for the Figure 7 showcase fabric."""
+
+    num_switches: int = 4
+    nics_per_host: int = 2
+    nic_gbps: float = 100.0
+    fabric_gbps: float = 100.0
+    local_gBps: float = 25.0
+    name: str = "switch-ring-fig7"
+
+    @property
+    def num_hosts(self) -> int:
+        return self.num_switches
+
+
+def switch_ring(spec: RingFabricSpec | None = None) -> Fabric:
+    """Build the Figure 7a fabric: one host per switch, switches in a ring.
+
+    Each host connects to its own switch; the four switches are cabled in a
+    ring, so between any two adjacent hosts there is a clockwise and a
+    counterclockwise direction, and a background flow on one inter-switch
+    link only degrades rings routed through it.
+    """
+    spec = spec or RingFabricSpec()
+    topo = Topology(spec.name)
+    n = spec.num_switches
+    for s in range(n):
+        topo.add_node(f"sw{s}", kind="switch")
+    for s in range(n):
+        topo.add_duplex_link(f"sw{s}", f"sw{(s + 1) % n}", gbps(spec.fabric_gbps))
+    for host in range(n):
+        for k in range(spec.nics_per_host):
+            topo.add_node(nic_node(host, k), kind="nic", host=host, nic=k)
+            topo.add_duplex_link(nic_node(host, k), f"sw{host}", gbps(spec.nic_gbps))
+        topo.add_node(f"h{host}.local.src", kind="local", host=host)
+        topo.add_node(f"h{host}.local.dst", kind="local", host=host)
+        topo.add_link(
+            f"h{host}.local.src",
+            f"h{host}.local.dst",
+            gBps(spec.local_gBps),
+            link_id=local_link_id(host),
+        )
+
+    ring_spec = FabricSpec(
+        num_spines=0,
+        num_leaves=n,
+        hosts_per_leaf=1,
+        nics_per_host=spec.nics_per_host,
+        nic_gbps=spec.nic_gbps,
+        fabric_gbps=spec.fabric_gbps,
+        local_gBps=spec.local_gBps,
+        name=spec.name,
+    )
+    return Fabric(spec=ring_spec, topology=topo, num_fabric_paths=1)
+
+
+def intra_host_path(fabric: Fabric, host: int) -> List[str]:
+    """Path used by flows between two GPUs of the same host."""
+    return [local_link_id(host)]
+
+
+def fabric_paths(fabric: Fabric, src_nic: str, dst_nic: str) -> List[List[str]]:
+    """All equal-cost paths between two NIC endpoints."""
+    return fabric.topology.equal_cost_paths(src_nic, dst_nic)
+
+
+def spine_links(fabric: Fabric) -> List[str]:
+    """All leaf->spine and spine->leaf link ids (the oversubscribed tier)."""
+    result = []
+    for link in fabric.topology.links.values():
+        if link.src.startswith("spine") or link.dst.startswith("spine"):
+            result.append(link.link_id)
+    return sorted(result)

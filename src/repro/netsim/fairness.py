@@ -1,0 +1,177 @@
+"""Weighted max-min fair rate allocation via progressive filling.
+
+The paper's large-scale simulator "assumes per-flow fairness" (§6.5); this
+module implements the canonical progressive-filling (water-filling)
+algorithm that realizes weighted max-min fairness over a capacitated link
+set.  Two implementations are provided:
+
+* :func:`progressive_filling` — a direct, readable reference version used
+  by the unit/property tests.
+* :class:`FairnessSolver` — a vectorized numpy version used by the engine;
+  it amortizes the link/flow incidence structure so that the per-event rate
+  recomputation in large simulations (hundreds of flows, thousands of
+  links) stays fast.
+
+Both produce identical allocations (tested against each other with
+hypothesis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from .flows import Flow
+
+_EPS = 1e-12
+
+
+def progressive_filling(
+    flows: Sequence[Flow], capacities: Mapping[str, float]
+) -> Dict[str, float]:
+    """Reference weighted max-min allocation.
+
+    Args:
+        flows: Flows to allocate; gated/completed flows receive rate 0.
+        capacities: Map of link id -> capacity (bytes/s).
+
+    Returns:
+        Map of flow id -> rate in bytes/s.
+    """
+    rates: Dict[str, float] = {f.flow_id: 0.0 for f in flows}
+    active = [f for f in flows if f.active]
+    for flow in active:
+        for link in flow.path:
+            if link not in capacities:
+                raise KeyError(f"flow {flow.flow_id} uses unknown link {link!r}")
+
+    residual = dict(capacities)
+    link_members: Dict[str, List[Flow]] = {}
+    for flow in active:
+        for link in set(flow.path):
+            link_members.setdefault(link, []).append(flow)
+
+    frozen: set = set()
+    while len(frozen) < len(active):
+        # Fair share of each link among its still-unfrozen flows.
+        best_share = None
+        for link, members in link_members.items():
+            weight = sum(f.weight for f in members if f.flow_id not in frozen)
+            if weight <= 0:
+                continue
+            share = residual[link] / weight
+            if best_share is None or share < best_share - _EPS:
+                best_share = share
+        if best_share is None:
+            break
+        best_share = max(best_share, 0.0)
+        # Freeze every flow crossing a bottleneck link at weight*share.
+        to_freeze: List[Flow] = []
+        for link, members in link_members.items():
+            weight = sum(f.weight for f in members if f.flow_id not in frozen)
+            if weight <= 0:
+                continue
+            if residual[link] / weight <= best_share + _EPS:
+                for f in members:
+                    if f.flow_id not in frozen:
+                        to_freeze.append(f)
+        if not to_freeze:
+            break
+        for f in to_freeze:
+            if f.flow_id in frozen:
+                continue
+            rate = f.weight * best_share
+            rates[f.flow_id] = rate
+            frozen.add(f.flow_id)
+            for link in set(f.path):
+                residual[link] = max(residual[link] - rate, 0.0)
+    return rates
+
+
+class FairnessSolver:
+    """Vectorized progressive filling over a fixed set of flows.
+
+    The solver is rebuilt whenever the active flow set changes; within one
+    build, :meth:`solve` performs only numpy reductions.
+    """
+
+    def __init__(
+        self, flows: Sequence[Flow], capacities: Mapping[str, float]
+    ) -> None:
+        self._flows = [f for f in flows if f.active]
+        self._all = list(flows)
+        link_ids = sorted({l for f in self._flows for l in f.path})
+        self._link_index = {l: i for i, l in enumerate(link_ids)}
+        self._caps = np.array([capacities[l] for l in link_ids], dtype=float)
+        flat_links: List[int] = []
+        flat_flows: List[int] = []
+        for fi, flow in enumerate(self._flows):
+            for link in set(flow.path):
+                flat_links.append(self._link_index[link])
+                flat_flows.append(fi)
+        self._flat_links = np.asarray(flat_links, dtype=np.int64)
+        self._flat_flows = np.asarray(flat_flows, dtype=np.int64)
+        self._weights = np.array([f.weight for f in self._flows], dtype=float)
+
+    def solve(self) -> Dict[str, float]:
+        """Run progressive filling; returns flow id -> rate (bytes/s)."""
+        num_flows = len(self._flows)
+        rates = np.zeros(num_flows, dtype=float)
+        if num_flows == 0:
+            return {f.flow_id: 0.0 for f in self._all}
+        num_links = len(self._caps)
+        residual = self._caps.copy()
+        unfrozen = np.ones(num_flows, dtype=bool)
+        while unfrozen.any():
+            member_w = self._weights[self._flat_flows] * unfrozen[self._flat_flows]
+            link_weight = np.bincount(
+                self._flat_links, weights=member_w, minlength=num_links
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                share = np.where(link_weight > 0, residual / link_weight, np.inf)
+            best = share.min()
+            if not np.isfinite(best):
+                break
+            best = max(best, 0.0)
+            bottleneck = share <= best * (1 + 1e-9) + _EPS
+            # Flows incident to any bottleneck link freeze at weight*best.
+            hit = bottleneck[self._flat_links] & unfrozen[self._flat_flows]
+            freeze_flows = np.zeros(num_flows, dtype=bool)
+            freeze_flows[self._flat_flows[hit]] = True
+            freeze_flows &= unfrozen
+            if not freeze_flows.any():
+                break
+            rates[freeze_flows] = self._weights[freeze_flows] * best
+            # Subtract the frozen rates from every link they traverse.
+            frozen_mask = freeze_flows[self._flat_flows]
+            used = np.bincount(
+                self._flat_links[frozen_mask],
+                weights=rates[self._flat_flows[frozen_mask]],
+                minlength=num_links,
+            )
+            residual = np.maximum(residual - used, 0.0)
+            unfrozen &= ~freeze_flows
+        result = {f.flow_id: 0.0 for f in self._all}
+        for fi, flow in enumerate(self._flows):
+            result[flow.flow_id] = float(rates[fi])
+        return result
+
+
+def bottleneck_rate(
+    path: Iterable[str], capacities: Mapping[str, float]
+) -> float:
+    """Best-case rate of a flow that has each link of ``path`` to itself."""
+    return min(capacities[l] for l in path)
+
+
+def link_loads(
+    flows: Sequence[Flow], rates: Mapping[str, float]
+) -> Dict[str, float]:
+    """Aggregate allocated rate per link; useful for assertions and debug."""
+    loads: Dict[str, float] = {}
+    for flow in flows:
+        rate = rates.get(flow.flow_id, 0.0)
+        for link in set(flow.path):
+            loads[link] = loads.get(link, 0.0) + rate
+    return loads

@@ -1,0 +1,91 @@
+"""Flow objects tracked by the fluid simulator.
+
+A :class:`Flow` is a fixed-size transfer over an explicit path of link ids.
+Its *rate* is recomputed by the max-min fairness allocator whenever the set
+of active flows changes.  Flows carry bookkeeping tags (job id, communicator
+id, channel) so policies such as FFA can round-robin between jobs and the
+traffic-scheduling (TS) policy can gate the flows of a specific tenant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+_flow_counter = itertools.count()
+
+
+def _next_flow_id() -> str:
+    return f"flow{next(_flow_counter)}"
+
+
+@dataclass(eq=False)
+class Flow:
+    """One fluid flow.
+
+    Attributes:
+        flow_id: Unique id within a simulation.
+        size: Total bytes to transfer.
+        path: Tuple of link ids traversed, in order.
+        job_id: Owning job/tenant (used by fairness-aware policies).
+        weight: Max-min fairness weight (1.0 = plain per-flow fairness,
+            matching the paper's simulator assumption).
+        gated: While True the flow is withheld from the network (rate 0);
+            used by the time-window traffic scheduling policy.
+        remaining: Bytes still to transfer.
+        rate: Current allocated rate in bytes/s (maintained by the engine).
+        start_time: Simulation time the flow entered the network.
+        end_time: Completion time, or None while in flight.
+        on_complete: Callback ``fn(flow, now)`` fired at completion.
+        tags: Free-form metadata (communicator id, channel index, ...).
+    """
+
+    size: float
+    path: Tuple[str, ...]
+    flow_id: str = field(default_factory=_next_flow_id)
+    job_id: Optional[str] = None
+    weight: float = 1.0
+    gated: bool = False
+    remaining: float = field(init=False)
+    rate: float = field(init=False, default=0.0)
+    start_time: float = field(init=False, default=0.0)
+    end_time: Optional[float] = field(init=False, default=None)
+    on_complete: Optional[Callable[["Flow", float], None]] = None
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("flow size must be positive")
+        if not self.path:
+            raise ValueError("flow path must contain at least one link")
+        if self.weight <= 0:
+            raise ValueError("flow weight must be positive")
+        self.path = tuple(self.path)
+        self.remaining = float(self.size)
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def active(self) -> bool:
+        """True when the flow competes for bandwidth right now."""
+        return not self.completed and not self.gated
+
+    def progress(self) -> float:
+        """Fraction of bytes delivered so far, in [0, 1]."""
+        return 1.0 - self.remaining / self.size
+
+    def fct(self) -> float:
+        """Flow completion time; raises if the flow has not finished."""
+        if self.end_time is None:
+            raise ValueError(f"{self.flow_id} has not completed")
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else ("gated" if self.gated else "active")
+        return (
+            f"Flow({self.flow_id}, size={self.size:.0f}, "
+            f"remaining={self.remaining:.0f}, rate={self.rate:.3g}, {state})"
+        )

@@ -1,0 +1,132 @@
+"""Path selection: ECMP hashing and explicit route-ID control.
+
+The paper contrasts two regimes:
+
+* **ECMP** — the datacenter default.  Each connection is hashed onto one of
+  the equal-cost paths; collisions are possible and are exactly what the
+  MCCS(-FA) ablation suffers from in Figures 6 and 8.
+* **Route-ID (source-routed) control** — MCCS's transport engine stamps
+  each RDMA connection with a route id (the prototype encodes it in the
+  RoCEv2 UDP source port and installs matching policy routes on the
+  switch).  Here a :class:`RouteMap` plays the role of that switch policy
+  table: it pins a (src, dst, connection-key) triple to a specific path
+  index, and the :class:`RouteIdSelector` honours it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import NoPathError
+from .topology import Topology
+
+ConnectionKey = Tuple[str, str, str]
+"""(src endpoint, dst endpoint, discriminator) identifying one connection."""
+
+
+def ecmp_hash(key: ConnectionKey, num_paths: int, seed: int = 0) -> int:
+    """Deterministic ECMP hash of a connection key onto a path index.
+
+    A cryptographic digest keyed by ``seed`` stands in for the switch's
+    5-tuple hash.  Different seeds model different (random) hash functions
+    across experiment trials, which is what produces the collision-induced
+    variance shown as shaded 95% intervals in Figure 6.
+    """
+    if num_paths <= 0:
+        raise ValueError("num_paths must be positive")
+    material = f"{seed}|{key[0]}|{key[1]}|{key[2]}".encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_paths
+
+
+class PathSelector:
+    """Interface: pick a concrete path for a connection."""
+
+    def select(
+        self, topology: Topology, key: ConnectionKey
+    ) -> List[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class EcmpSelector(PathSelector):
+    """Hash-based selection among the equal-cost shortest paths."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
+        paths = topology.equal_cost_paths(key[0], key[1])
+        return paths[ecmp_hash(key, len(paths), self.seed)]
+
+
+@dataclass
+class RouteMap:
+    """Connection -> route-id assignments issued by a policy (FFA/PFA).
+
+    ``route_id`` indexes into the sorted equal-cost path list of the
+    connection's endpoints, mirroring how the prototype's switch policy
+    maps UDP source ports to routes.
+    """
+
+    assignments: Dict[ConnectionKey, int] = field(default_factory=dict)
+
+    def assign(self, key: ConnectionKey, route_id: int) -> None:
+        if route_id < 0:
+            raise ValueError("route_id must be non-negative")
+        self.assignments[key] = route_id
+
+    def route_id(self, key: ConnectionKey) -> Optional[int]:
+        return self.assignments.get(key)
+
+    def merge(self, other: "RouteMap") -> None:
+        """Overlay ``other``'s assignments on top of this map."""
+        self.assignments.update(other.assignments)
+
+    def clear_job(self, job_prefix: str) -> None:
+        """Drop every assignment whose discriminator starts with a prefix."""
+        stale = [
+            key for key in self.assignments if key[2].startswith(job_prefix)
+        ]
+        for key in stale:
+            del self.assignments[key]
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+class RouteIdSelector(PathSelector):
+    """Honour a :class:`RouteMap`; fall back to ECMP for unmapped flows.
+
+    The fallback matches the deployment story in §5: tenants that are not
+    (yet) managed simply see normal ECMP behaviour.
+    """
+
+    def __init__(self, route_map: RouteMap, fallback_seed: int = 0) -> None:
+        self.route_map = route_map
+        self._fallback = EcmpSelector(fallback_seed)
+
+    def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
+        paths = topology.equal_cost_paths(key[0], key[1])
+        route_id = self.route_map.route_id(key)
+        if route_id is None:
+            return self._fallback.select(topology, key)
+        if route_id >= len(paths):
+            raise NoPathError(
+                f"route id {route_id} out of range for {key[0]}->{key[1]} "
+                f"({len(paths)} paths)"
+            )
+        return paths[route_id]
+
+
+class RandomSelector(PathSelector):
+    """Uniform random path choice (useful for stress tests)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
+        paths = topology.equal_cost_paths(key[0], key[1])
+        return self._rng.choice(paths)

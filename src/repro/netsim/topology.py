@@ -1,0 +1,228 @@
+"""Directed-graph network topology used by the flow-level simulator.
+
+A :class:`Topology` is a multigraph of named nodes connected by directed
+:class:`Link` objects with fixed capacities.  Flows traverse an explicit
+list of link ids; the fairness allocator (see :mod:`repro.netsim.fairness`)
+shares each link's capacity among the flows crossing it.
+
+The class is deliberately small: concrete fabrics (the testbed spine-leaf
+of Figure 5a, the 4-switch ring of Figure 7, the 768-GPU Clos of §6.5) are
+assembled by :mod:`repro.netsim.fabric`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import NoPathError, UnknownLinkError, UnknownNodeError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link with a fixed capacity.
+
+    Attributes:
+        link_id: Unique identifier, by convention ``"src->dst"`` (with an
+            optional ``#k`` suffix for parallel links).
+        src: Source node id.
+        dst: Destination node id.
+        capacity: Capacity in bytes per second.
+    """
+
+    link_id: str
+    src: str
+    dst: str
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.link_id} needs positive capacity")
+
+
+@dataclass
+class Node:
+    """A named vertex: a switch, a NIC endpoint, or a host-local hub."""
+
+    node_id: str
+    kind: str = "switch"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class Topology:
+    """A directed multigraph with equal-cost path enumeration.
+
+    Paths are enumerated as *all minimum-hop* node sequences between two
+    endpoints, which for a folded-Clos fabric yields exactly the ECMP
+    choices (one per spine for inter-rack pairs, the single leaf path for
+    intra-rack pairs).
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[str, Link] = {}
+        # adjacency: src -> list of links out of src
+        self._out: Dict[str, List[Link]] = {}
+        self._path_cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, kind: str = "switch", **attrs: object) -> Node:
+        """Add (or return the existing) node with the given id."""
+        if node_id in self._nodes:
+            return self._nodes[node_id]
+        node = Node(node_id, kind, dict(attrs))
+        self._nodes[node_id] = node
+        self._out[node_id] = []
+        self._path_cache.clear()
+        return node
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        link_id: Optional[str] = None,
+    ) -> Link:
+        """Add a directed link from ``src`` to ``dst``.
+
+        Both endpoints must already exist.  Returns the created link.
+        """
+        for node_id in (src, dst):
+            if node_id not in self._nodes:
+                raise UnknownNodeError(f"unknown node {node_id!r}")
+        if link_id is None:
+            base = f"{src}->{dst}"
+            link_id = base
+            for k in itertools.count(1):
+                if link_id not in self._links:
+                    break
+                link_id = f"{base}#{k}"
+        if link_id in self._links:
+            raise ValueError(f"duplicate link id {link_id!r}")
+        link = Link(link_id, src, dst, capacity)
+        self._links[link_id] = link
+        self._out[src].append(link)
+        self._path_cache.clear()
+        return link
+
+    def add_duplex_link(
+        self, a: str, b: str, capacity: float
+    ) -> Tuple[Link, Link]:
+        """Add a pair of directed links modelling one full-duplex cable."""
+        return self.add_link(a, b, capacity), self.add_link(b, a, capacity)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        return self._nodes
+
+    @property
+    def links(self) -> Dict[str, Link]:
+        return self._links
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node {node_id!r}") from None
+
+    def link(self, link_id: str) -> Link:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise UnknownLinkError(f"unknown link {link_id!r}") from None
+
+    def out_links(self, node_id: str) -> Sequence[Link]:
+        self.node(node_id)
+        return tuple(self._out[node_id])
+
+    def capacity_of(self, link_id: str) -> float:
+        return self.link(link_id).capacity
+
+    # ------------------------------------------------------------------
+    # path enumeration
+    # ------------------------------------------------------------------
+    def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
+        """Return all minimum-hop paths from ``src`` to ``dst``.
+
+        Each path is a list of *link ids*.  Results are cached; the cache is
+        invalidated whenever the graph changes.  Raises
+        :class:`NoPathError` when ``dst`` is unreachable.
+        """
+        self.node(src)
+        self.node(dst)
+        key = (src, dst)
+        if key in self._path_cache:
+            return [list(path) for path in self._path_cache[key]]
+        paths = self._enumerate_shortest(src, dst)
+        if not paths:
+            raise NoPathError(f"no path from {src!r} to {dst!r}")
+        self._path_cache[key] = paths
+        return [list(path) for path in paths]
+
+    def _enumerate_shortest(self, src: str, dst: str) -> List[List[str]]:
+        """BFS that records every minimum-hop link sequence."""
+        if src == dst:
+            return [[]]
+        # Standard BFS computing hop distance, then a backward walk
+        # collecting all predecessor links that lie on a shortest path.
+        dist = {src: 0}
+        frontier = [src]
+        preds: Dict[str, List[Link]] = {}
+        while frontier and dst not in dist:
+            nxt: List[str] = []
+            for node in frontier:
+                for link in self._out[node]:
+                    if link.dst not in dist:
+                        preds.setdefault(link.dst, []).append(link)
+                        dist[link.dst] = dist[node] + 1
+                        nxt.append(link.dst)
+                    elif dist[link.dst] == dist[node] + 1:
+                        preds.setdefault(link.dst, []).append(link)
+            frontier = nxt
+        if dst not in dist:
+            return []
+
+        paths: List[List[str]] = []
+
+        def walk(node: str, suffix: List[str]) -> None:
+            if node == src:
+                paths.append(list(reversed(suffix)))
+                return
+            for link in preds.get(node, ()):
+                if dist[link.src] == dist[node] - 1:
+                    suffix.append(link.link_id)
+                    walk(link.src, suffix)
+                    suffix.pop()
+
+        walk(dst, [])
+        paths.sort()
+        return paths
+
+    def path_nodes(self, path: Sequence[str]) -> List[str]:
+        """Expand a link-id path into the node sequence it traverses."""
+        if not path:
+            return []
+        nodes = [self.link(path[0]).src]
+        for link_id in path:
+            link = self.link(link_id)
+            if link.src != nodes[-1]:
+                raise ValueError(f"discontinuous path at {link_id!r}")
+            nodes.append(link.dst)
+        return nodes
+
+    def validate_path(self, path: Sequence[str]) -> None:
+        """Raise if ``path`` is not a contiguous sequence of known links."""
+        self.path_nodes(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.name!r}, nodes={len(self._nodes)}, "
+            f"links={len(self._links)})"
+        )

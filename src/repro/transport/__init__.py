@@ -1,0 +1,18 @@
+"""Shared transport substrate: connections and flow launching.
+
+NCCL's transport agent (:mod:`repro.baselines.nccl`) and MCCS's transport
+engines (:mod:`repro.core.transport`) are both built on these pieces.
+"""
+
+from .connections import Connection, ConnectionTable, EdgeId, connection_key
+from .launcher import FlowGate, FlowTransport, LaunchHandle
+
+__all__ = [
+    "Connection",
+    "ConnectionTable",
+    "EdgeId",
+    "FlowGate",
+    "FlowTransport",
+    "LaunchHandle",
+    "connection_key",
+]

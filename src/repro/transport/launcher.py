@@ -1,0 +1,210 @@
+"""Turning collective launches into network flows.
+
+This is the shared machinery beneath NCCL's transport agent and MCCS's
+transport engines: given a collective (kind, size), a schedule (ring or
+tree), the GPU of each rank and an established connection table, it injects
+one fluid flow per (edge, channel) into the simulator and reports
+completion when the slowest flow finishes — a collective is only done when
+every participant is done.
+
+Fixed overheads (kernel launch, rendezvous, and for MCCS the shim->service
+IPC hop) are modelled by delaying flow injection by the latency model's
+per-collective cost, which is what produces the small-message penalty of
+Figure 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..cluster.gpu import GpuDevice
+from ..cluster.specs import Cluster
+from ..collectives.cost_model import LatencyModel
+from ..collectives.ring import RingSchedule, edge_traffic, steps_for
+from ..collectives.tree import (
+    TreeSchedule,
+    double_tree_allreduce_traffic,
+    tree_steps,
+)
+from ..collectives.types import Collective
+from ..netsim.flows import Flow
+from .connections import ConnectionTable
+
+_launch_counter = itertools.count()
+
+
+class FlowGate(Protocol):
+    """Hook letting a QoS policy gate a job's traffic (see TS, §4.3)."""
+
+    def register(self, flow: Flow) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class LaunchHandle:
+    """One in-flight (or completed) collective launch."""
+
+    launch_id: int
+    kind: Collective
+    out_bytes: int
+    job_id: Optional[str]
+    issue_time: float
+    flows: List[Flow] = field(default_factory=list)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time is not None
+
+    def duration(self) -> float:
+        """Wall time from issue to completion (includes fixed latency)."""
+        if self.end_time is None:
+            raise ValueError("collective still in flight")
+        return self.end_time - self.issue_time
+
+
+class FlowTransport:
+    """Injects collective traffic into the fluid simulator."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        latency: LatencyModel,
+        gate: Optional[FlowGate] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.latency = latency
+        self.gate = gate
+        self.launches: List[LaunchHandle] = []
+
+    # ------------------------------------------------------------------
+    def launch_ring(
+        self,
+        *,
+        kind: Collective,
+        out_bytes: int,
+        schedule: RingSchedule,
+        gpus_by_rank: Sequence[GpuDevice],
+        table: ConnectionTable,
+        channels: int,
+        job_id: Optional[str] = None,
+        root: int = 0,
+        on_complete: Optional[Callable[[LaunchHandle, float], None]] = None,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> LaunchHandle:
+        """Issue a ring collective; returns immediately with a handle."""
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        world = schedule.world
+        if len(gpus_by_rank) != world:
+            raise ValueError("gpus_by_rank must cover every rank")
+        root_position = schedule.position_of(root)
+        per_channel = out_bytes / channels
+        transfers: List[Tuple[GpuDevice, GpuDevice, int, float]] = []
+        for channel in range(channels):
+            per_edge = edge_traffic(kind, per_channel, world, root_position)
+            for pos, nbytes in enumerate(per_edge):
+                if nbytes <= 0:
+                    continue
+                src = gpus_by_rank[schedule.order[pos]]
+                dst = gpus_by_rank[schedule.order[(pos + 1) % world]]
+                transfers.append((src, dst, channel, nbytes))
+        steps = steps_for(kind, world)
+        return self._launch(
+            kind, out_bytes, transfers, table, steps, job_id, on_complete, tags
+        )
+
+    def launch_double_tree(
+        self,
+        *,
+        out_bytes: int,
+        trees: Tuple[TreeSchedule, TreeSchedule],
+        gpus_by_rank: Sequence[GpuDevice],
+        table: ConnectionTable,
+        job_id: Optional[str] = None,
+        on_complete: Optional[Callable[[LaunchHandle, float], None]] = None,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> LaunchHandle:
+        """Issue an AllReduce over a double binary tree."""
+        world = trees[0].world
+        if len(gpus_by_rank) != world:
+            raise ValueError("gpus_by_rank must cover every rank")
+        traffic = double_tree_allreduce_traffic(trees, out_bytes)
+        transfers = []
+        for (src_rank, dst_rank), nbytes in sorted(traffic.items()):
+            if nbytes <= 0:
+                continue
+            transfers.append(
+                (gpus_by_rank[src_rank], gpus_by_rank[dst_rank], 0, nbytes)
+            )
+        steps = max(tree_steps(t) for t in trees)
+        return self._launch(
+            Collective.ALL_REDUCE,
+            out_bytes,
+            transfers,
+            table,
+            steps,
+            job_id,
+            on_complete,
+            tags,
+        )
+
+    # ------------------------------------------------------------------
+    def _launch(
+        self,
+        kind: Collective,
+        out_bytes: int,
+        transfers: List[Tuple[GpuDevice, GpuDevice, int, float]],
+        table: ConnectionTable,
+        steps: int,
+        job_id: Optional[str],
+        on_complete: Optional[Callable[[LaunchHandle, float], None]],
+        tags: Optional[Dict[str, object]],
+    ) -> LaunchHandle:
+        handle = LaunchHandle(
+            launch_id=next(_launch_counter),
+            kind=kind,
+            out_bytes=out_bytes,
+            job_id=job_id,
+            issue_time=self.sim.now,
+            tags=dict(tags or {}),
+        )
+        self.launches.append(handle)
+        fixed = self.latency.collective_latency(steps)
+
+        def inject() -> None:
+            handle.start_time = self.sim.now
+            for src, dst, channel, nbytes in transfers:
+                conn = table.connection(src, dst, channel)
+                flow = self.sim.add_flow(
+                    nbytes,
+                    conn.path,
+                    job_id=job_id,
+                    tags={
+                        "launch": handle.launch_id,
+                        "kind": kind.value,
+                        "channel": channel,
+                        **handle.tags,
+                    },
+                )
+                handle.flows.append(flow)
+                if self.gate is not None:
+                    self.gate.register(flow)
+
+            def finished(now: float) -> None:
+                handle.end_time = now
+                if on_complete is not None:
+                    on_complete(handle, now)
+
+            self.sim.when_all(handle.flows, finished)
+
+        if fixed > 0:
+            self.sim.call_in(fixed, inject)
+        else:
+            inject()
+        return handle

@@ -1,0 +1,52 @@
+"""Workload synthesis: model profiles, traces, generators, arrivals."""
+
+from .arrivals import JobSpec, poisson_arrivals
+from .generator import (
+    CollectiveIssuer,
+    GeneratorStats,
+    MccsIssuer,
+    NcclIssuer,
+    TrafficGenerator,
+)
+from .models import ModelProfile, gpt_2_7b, gradient_buckets, resnet50, vgg19
+from .production import (
+    TrainingBreakdown,
+    empirical_cross_rack_curve,
+    product_group_breakdowns,
+    simulated_cross_rack_curve,
+)
+from .traces import (
+    TraceStep,
+    TrainingTrace,
+    data_parallel_trace,
+    gpt_tp_trace,
+    resnet50_dp_trace,
+    tensor_parallel_trace,
+    vgg19_dp_trace,
+)
+
+__all__ = [
+    "CollectiveIssuer",
+    "GeneratorStats",
+    "JobSpec",
+    "MccsIssuer",
+    "ModelProfile",
+    "NcclIssuer",
+    "TraceStep",
+    "TrafficGenerator",
+    "TrainingBreakdown",
+    "TrainingTrace",
+    "data_parallel_trace",
+    "empirical_cross_rack_curve",
+    "gpt_2_7b",
+    "gpt_tp_trace",
+    "gradient_buckets",
+    "poisson_arrivals",
+    "product_group_breakdowns",
+    "resnet50",
+    "resnet50_dp_trace",
+    "simulated_cross_rack_curve",
+    "tensor_parallel_trace",
+    "vgg19",
+    "vgg19_dp_trace",
+]

@@ -1,0 +1,53 @@
+"""Job arrival processes for the large-scale simulation (§6.5).
+
+"The jobs arrival follows a Poisson distribution with the lambda set to
+200ms" — i.e. exponential inter-arrival gaps with a 200 ms mean.  Job
+sizes are "either 16 or 32 GPUs with equal probability", 50 jobs per
+experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One arriving job."""
+
+    job_id: str
+    num_gpus: int
+    arrival_time: float
+
+
+def poisson_arrivals(
+    num_jobs: int,
+    *,
+    mean_interarrival: float = 0.200,
+    sizes: Sequence[int] = (16, 32),
+    size_weights: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    prefix: str = "job",
+) -> List[JobSpec]:
+    """Draw a Poisson arrival sequence of jobs.
+
+    Args:
+        num_jobs: How many jobs arrive (50 in the paper).
+        mean_interarrival: Mean exponential gap in seconds (0.2 s).
+        sizes: Candidate GPU counts (16 or 32).
+        size_weights: Optional selection weights (uniform by default).
+        seed: RNG seed; vary across the paper's 5 repetitions.
+        prefix: Job id prefix.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    rng = random.Random(seed)
+    now = 0.0
+    jobs: List[JobSpec] = []
+    for i in range(num_jobs):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        size = rng.choices(list(sizes), weights=size_weights)[0]
+        jobs.append(JobSpec(job_id=f"{prefix}{i}", num_gpus=size, arrival_time=now))
+    return jobs

@@ -1,0 +1,123 @@
+"""Model catalog for the training workloads of §6.1 and §6.5.
+
+The paper profiles three models:
+
+* **VGG-19** with data-parallel training (PyTorch + DeepSpeed) — tenant A
+  in the QoS experiments;
+* a **2.7B-parameter GPT** with tensor-parallel training (Megatron-LM) —
+  tenants B and C;
+* **ResNet-50** ("model size 100 MB") for the §6.5 large-scale simulation,
+  following NetHint's distributed data-parallel setup.
+
+We cannot rerun the authors' profiling harness, so the catalog records the
+published parameter counts and standard architecture facts, from which the
+trace generators derive communication sizes; compute times are free
+parameters calibrated to give communication-heavy iterations like those in
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Coarse profile of one training workload.
+
+    Attributes:
+        name: Model name.
+        param_bytes: Total gradient bytes exchanged per data-parallel
+            iteration (fp32 gradients).
+        bucket_bytes: Gradient-bucket granularity for overlapped
+            AllReduce (PyTorch DDP style).
+        compute_per_iteration: Exposed compute seconds per iteration on
+            the reference GPU (calibration parameter).
+        input_bytes_per_iteration: Host->device bytes staged per
+            iteration (the minibatch), driving the memcpy share of the
+            Figure 2 breakdown.
+        parallelism: ``"data"`` or ``"tensor"``.
+        tp_allreduce_bytes: For tensor parallelism, activation AllReduce
+            size per synchronization point.
+        tp_syncs_per_iteration: Number of activation AllReduce points per
+            iteration (2 per transformer layer in forward + 2 in backward,
+            Megatron style).
+    """
+
+    name: str
+    param_bytes: int
+    bucket_bytes: int
+    compute_per_iteration: float
+    input_bytes_per_iteration: int = 0
+    parallelism: str = "data"
+    tp_allreduce_bytes: int = 0
+    tp_syncs_per_iteration: int = 0
+
+
+def vgg19() -> ModelProfile:
+    """VGG-19: 143.7M parameters -> ~575 MB of fp32 gradients.
+
+    Data-parallel; DDP-style 25 MB buckets overlapped with backward
+    compute.
+    """
+    params = 143_667_240
+    return ModelProfile(
+        name="vgg19",
+        param_bytes=params * 4,
+        bucket_bytes=25 * 1024 * 1024,
+        compute_per_iteration=0.180,
+        # batch of 256 x 3 x 224 x 224 fp32 images
+        input_bytes_per_iteration=256 * 3 * 224 * 224 * 4,
+        parallelism="data",
+    )
+
+
+def gpt_2_7b(
+    *,
+    layers: int = 32,
+    hidden: int = 2560,
+    micro_batch_tokens: int = 2048,
+) -> ModelProfile:
+    """The 2.7B GPT trained with tensor parallelism (Megatron-LM).
+
+    Each transformer layer performs two activation AllReduces in the
+    forward pass and two in the backward pass across the tensor-parallel
+    group; each carries ``micro_batch_tokens * hidden`` fp16 activations.
+    """
+    activation_bytes = micro_batch_tokens * hidden * 2  # fp16
+    return ModelProfile(
+        name="gpt-2.7b",
+        param_bytes=2_700_000_000 * 2,  # fp16 weights (not all-reduced in TP)
+        bucket_bytes=0,
+        compute_per_iteration=0.040,
+        parallelism="tensor",
+        tp_allreduce_bytes=activation_bytes,
+        tp_syncs_per_iteration=4 * layers,
+    )
+
+
+def resnet50() -> ModelProfile:
+    """ResNet-50 at the paper's quoted "model size 100MB"."""
+    return ModelProfile(
+        name="resnet50",
+        param_bytes=100 * 1024 * 1024,
+        bucket_bytes=25 * 1024 * 1024,
+        compute_per_iteration=0.120,
+        parallelism="data",
+    )
+
+
+def gradient_buckets(profile: ModelProfile) -> List[int]:
+    """Split a DP model's gradients into DDP-style buckets (bytes)."""
+    if profile.parallelism != "data":
+        raise ValueError(f"{profile.name} is not data parallel")
+    if profile.bucket_bytes <= 0:
+        return [profile.param_bytes]
+    buckets = []
+    remaining = profile.param_bytes
+    while remaining > 0:
+        size = min(profile.bucket_bytes, remaining)
+        buckets.append(size)
+        remaining -= size
+    return buckets

@@ -1,0 +1,202 @@
+"""Ring schedules, data plane correctness, and traffic-model agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.ring import (
+    RingDataPlane,
+    RingSchedule,
+    edge_traffic,
+    identity_ring,
+    steps_for,
+)
+from repro.collectives.types import Collective, ReduceOp
+
+
+# -- schedules ----------------------------------------------------------------
+def test_schedule_requires_permutation():
+    with pytest.raises(ValueError):
+        RingSchedule((0, 0, 1))
+    with pytest.raises(ValueError):
+        RingSchedule((0, 2))
+
+
+def test_schedule_requires_two_ranks():
+    with pytest.raises(ValueError):
+        RingSchedule((0,))
+
+
+def test_edges_wrap_around():
+    sched = RingSchedule((2, 0, 1))
+    assert sched.edges() == [(2, 0), (0, 1), (1, 2)]
+
+
+def test_position_of():
+    sched = RingSchedule((2, 0, 1))
+    assert sched.position_of(0) == 1
+    assert sched.position_of(2) == 0
+
+
+def test_reversed_schedule():
+    sched = RingSchedule((0, 1, 2, 3))
+    assert sched.reversed().order == (3, 2, 1, 0)
+
+
+def test_identity_ring():
+    assert identity_ring(4).order == (0, 1, 2, 3)
+
+
+# -- traffic model -------------------------------------------------------------
+def test_allreduce_edge_traffic():
+    per_edge = edge_traffic(Collective.ALL_REDUCE, 1000, 4)
+    assert per_edge == [1500.0] * 4  # 2*(n-1)/n * S
+
+
+def test_allgather_edge_traffic():
+    per_edge = edge_traffic(Collective.ALL_GATHER, 1000, 4)
+    assert per_edge == [750.0] * 4
+
+
+def test_reduce_scatter_edge_traffic():
+    per_edge = edge_traffic(Collective.REDUCE_SCATTER, 250, 4)
+    assert per_edge == [750.0] * 4  # (n-1) * per-rank output
+
+
+def test_broadcast_skips_edge_into_root():
+    per_edge = edge_traffic(Collective.BROADCAST, 100, 4, root_position=1)
+    assert per_edge == [0.0, 100.0, 100.0, 100.0]
+
+
+def test_reduce_skips_edge_out_of_root():
+    per_edge = edge_traffic(Collective.REDUCE, 100, 4, root_position=1)
+    assert per_edge == [100.0, 0.0, 100.0, 100.0]
+
+
+def test_steps():
+    assert steps_for(Collective.ALL_REDUCE, 4) == 6
+    assert steps_for(Collective.ALL_GATHER, 4) == 3
+    assert steps_for(Collective.BROADCAST, 4) == 3
+
+
+# -- data plane -----------------------------------------------------------------
+@st.composite
+def world_and_order(draw):
+    world = draw(st.integers(2, 6))
+    order = draw(st.permutations(range(world)))
+    return world, tuple(order)
+
+
+@given(world_and_order(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_allreduce_matches_numpy_sum(wo, seed):
+    world, order = wo
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(24) for _ in range(world)]
+    outputs = RingDataPlane(RingSchedule(order)).all_reduce(inputs)
+    expected = np.sum(inputs, axis=0)
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+@given(world_and_order(), st.sampled_from(list(ReduceOp)))
+@settings(max_examples=40, deadline=None)
+def test_allreduce_supports_all_ops(wo, op):
+    world, order = wo
+    rng = np.random.default_rng(7)
+    inputs = [rng.uniform(0.5, 2.0, size=12) for _ in range(world)]
+    outputs = RingDataPlane(RingSchedule(order)).all_reduce(inputs, op)
+    from repro.collectives.types import reduce_many
+
+    expected = reduce_many(op, inputs)
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+@given(world_and_order())
+@settings(max_examples=40, deadline=None)
+def test_allgather_concatenates_by_rank(wo):
+    world, order = wo
+    inputs = [np.full(5, float(r)) for r in range(world)]
+    outputs = RingDataPlane(RingSchedule(order)).all_gather(inputs)
+    expected = np.concatenate(inputs)
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+@given(world_and_order())
+@settings(max_examples=40, deadline=None)
+def test_reduce_scatter_gives_each_rank_its_block(wo):
+    world, order = wo
+    rng = np.random.default_rng(3)
+    inputs = [rng.standard_normal(world * 4) for _ in range(world)]
+    outputs = RingDataPlane(RingSchedule(order)).reduce_scatter(inputs)
+    total = np.sum(inputs, axis=0)
+    for rank in range(world):
+        assert np.allclose(outputs[rank], total[rank * 4 : (rank + 1) * 4])
+
+
+@given(world_and_order(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_broadcast_distributes_root(wo, root_seed):
+    world, order = wo
+    root = root_seed % world
+    inputs = [np.full(4, float(r + 1)) for r in range(world)]
+    outputs = RingDataPlane(RingSchedule(order)).broadcast(inputs, root=root)
+    for out in outputs:
+        assert np.allclose(out, inputs[root])
+
+
+@given(world_and_order(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_reduce_collects_at_root(wo, root_seed):
+    world, order = wo
+    root = root_seed % world
+    rng = np.random.default_rng(11)
+    inputs = [rng.standard_normal(6) for _ in range(world)]
+    outputs = RingDataPlane(RingSchedule(order)).reduce(inputs, root=root)
+    assert np.allclose(outputs[root], np.sum(inputs, axis=0))
+
+
+# -- cross-check: data plane bytes == traffic model ------------------------------
+@pytest.mark.parametrize(
+    "kind",
+    [Collective.ALL_REDUCE, Collective.ALL_GATHER, Collective.REDUCE_SCATTER],
+)
+@pytest.mark.parametrize("world", [2, 3, 4, 5])
+def test_data_plane_bytes_match_traffic_model(kind, world):
+    """The fluid model's per-edge byte counts are exactly what the chunked
+    algorithm moves (sum over edges; chunk rounding redistributes within
+    the ring but preserves the total)."""
+    rng = np.random.default_rng(0)
+    if kind is Collective.ALL_GATHER:
+        inputs = [rng.standard_normal(6).astype(np.float64) for _ in range(world)]
+        out_bytes = inputs[0].nbytes * world
+    elif kind is Collective.REDUCE_SCATTER:
+        inputs = [rng.standard_normal(world * 6) for _ in range(world)]
+        out_bytes = inputs[0].nbytes // world
+    else:
+        inputs = [rng.standard_normal(4 * world) for _ in range(world)]
+        out_bytes = inputs[0].nbytes
+    plane = RingDataPlane(identity_ring(world))
+    plane.run(kind, inputs)
+    predicted = edge_traffic(kind, out_bytes, world)
+    assert sum(plane.edge_bytes) == pytest.approx(sum(predicted))
+
+
+def test_data_plane_requires_one_input_per_rank():
+    plane = RingDataPlane(identity_ring(3))
+    with pytest.raises(ValueError):
+        plane.all_reduce([np.zeros(4)])
+
+
+def test_data_plane_requires_uniform_shapes():
+    plane = RingDataPlane(identity_ring(2))
+    with pytest.raises(ValueError):
+        plane.all_reduce([np.zeros(4), np.zeros(5)])
+
+
+def test_reduce_scatter_requires_divisible_size():
+    plane = RingDataPlane(identity_ring(3))
+    with pytest.raises(ValueError):
+        plane.reduce_scatter([np.zeros(4) for _ in range(3)])

@@ -1,0 +1,110 @@
+"""Tree schedule and double-binary-tree data plane tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.tree import (
+    DoubleTreeDataPlane,
+    TreeDataPlane,
+    TreeSchedule,
+    binary_tree,
+    double_binary_trees,
+    double_tree_allreduce_traffic,
+    tree_allreduce_traffic,
+    tree_steps,
+)
+
+
+def test_tree_schedule_validation():
+    with pytest.raises(ValueError):
+        TreeSchedule((0, -1))  # rank 0's parent is itself
+    with pytest.raises(ValueError):
+        TreeSchedule((-1, -1))  # two roots
+    with pytest.raises(ValueError):
+        TreeSchedule((1, 0))  # cycle, no root
+
+
+def test_binary_tree_layout():
+    tree = binary_tree([0, 1, 2, 3, 4])
+    assert tree.root == 0
+    assert set(tree.children(0)) == {1, 2}
+    assert set(tree.children(1)) == {3, 4}
+    assert tree.depth() == 2
+
+
+def test_binary_tree_over_permuted_order():
+    tree = binary_tree([3, 1, 0, 2])
+    assert tree.root == 3
+    assert set(tree.children(3)) == {1, 0}
+    assert tree.children(1) == [2]
+
+
+def test_edges_are_child_parent_pairs():
+    tree = binary_tree([0, 1, 2])
+    assert sorted(tree.edges()) == [(1, 0), (2, 0)]
+
+
+def test_double_trees_have_different_roots():
+    t1, t2 = double_binary_trees(range(6))
+    assert t1.root != t2.root
+
+
+def test_tree_steps():
+    tree = binary_tree(range(8))
+    assert tree_steps(tree) == 2 * tree.depth()
+
+
+def test_tree_allreduce_traffic_counts_up_and_down():
+    tree = binary_tree([0, 1, 2])
+    traffic = tree_allreduce_traffic(tree, 100)
+    assert traffic[(1, 0)] == 100 and traffic[(0, 1)] == 100
+    assert traffic[(2, 0)] == 100 and traffic[(0, 2)] == 100
+    assert sum(traffic.values()) == 4 * 100
+
+
+def test_double_tree_traffic_splits_in_half():
+    trees = double_binary_trees(range(4))
+    traffic = double_tree_allreduce_traffic(trees, 100)
+    # each tree moves S/2 per edge both ways over 3 edges
+    assert sum(traffic.values()) == pytest.approx(2 * 3 * 100 / 2 * 2)
+
+
+@given(st.integers(2, 9), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_tree_allreduce_correctness(world, seed):
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(10) for _ in range(world)]
+    tree = binary_tree(range(world))
+    outputs = TreeDataPlane(tree).all_reduce(inputs)
+    expected = np.sum(inputs, axis=0)
+    assert len(outputs) == world
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+@given(st.integers(2, 9))
+@settings(max_examples=30, deadline=None)
+def test_double_tree_allreduce_correctness(world):
+    rng = np.random.default_rng(world)
+    inputs = [rng.standard_normal(12) for _ in range(world)]
+    trees = double_binary_trees(range(world))
+    outputs = DoubleTreeDataPlane(trees).all_reduce(inputs)
+    expected = np.sum(inputs, axis=0)
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+def test_tree_data_plane_edge_bytes():
+    tree = binary_tree(range(3))
+    plane = TreeDataPlane(tree)
+    inputs = [np.zeros(25, dtype=np.float64) for _ in range(3)]
+    plane.all_reduce(inputs)
+    predicted = tree_allreduce_traffic(tree, inputs[0].nbytes)
+    assert plane.edge_bytes == {k: int(v) for k, v in predicted.items()}
+
+
+def test_tree_data_plane_input_count_checked():
+    plane = TreeDataPlane(binary_tree(range(3)))
+    with pytest.raises(ValueError):
+        plane.all_reduce([np.zeros(4)])

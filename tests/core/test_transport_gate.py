@@ -1,0 +1,127 @@
+"""Traffic gating mechanism (TS windows) tests."""
+
+import pytest
+
+from repro.core.transport import TrafficGateManager, WindowSchedule
+from repro.netsim.engine import FlowSimulator
+from repro.netsim.topology import Topology
+
+
+@pytest.fixture
+def sim():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b", 8.0)
+    return FlowSimulator(topo)
+
+
+# -- WindowSchedule -------------------------------------------------------------
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        WindowSchedule(period=0.0, open_intervals=())
+    with pytest.raises(ValueError):
+        WindowSchedule(period=1.0, open_intervals=((0.5, 0.2),))
+    with pytest.raises(ValueError):
+        WindowSchedule(period=1.0, open_intervals=((0.0, 0.6), (0.5, 0.9)))
+
+
+def test_is_open_within_period():
+    s = WindowSchedule(period=1.0, open_intervals=((0.25, 0.75),))
+    assert not s.is_open(0.0)
+    assert s.is_open(0.5)
+    assert not s.is_open(0.9)
+    assert s.is_open(1.5)  # wraps
+
+
+def test_phase_offset():
+    s = WindowSchedule(period=1.0, open_intervals=((0.0, 0.5),), t0=0.25)
+    assert s.is_open(0.3)
+    assert not s.is_open(0.8)
+
+
+def test_next_toggle():
+    s = WindowSchedule(period=1.0, open_intervals=((0.25, 0.75),))
+    assert s.next_toggle(0.0) == pytest.approx(0.25)
+    assert s.next_toggle(0.3) == pytest.approx(0.75)
+    assert s.next_toggle(0.8) == pytest.approx(1.25)
+
+
+# -- TrafficGateManager ---------------------------------------------------------
+def closed_then_open(period=1.0, open_from=0.5):
+    return WindowSchedule(period=period, open_intervals=((open_from, period),))
+
+
+def test_flow_registered_while_closed_is_gated(sim):
+    gates = TrafficGateManager(sim)
+    gates.set_schedule("app", closed_then_open())
+    flow = sim.add_flow(4.0, ["a->b"], job_id="app")
+    gates.register(flow)
+    assert flow.gated
+    sim.run()
+    # gated for 0.5 s, then 4 bytes at 8 B/s -> completes at 1.0
+    assert flow.end_time == pytest.approx(1.0)
+
+
+def test_flow_of_unscheduled_app_unaffected(sim):
+    gates = TrafficGateManager(sim)
+    gates.set_schedule("app", closed_then_open())
+    flow = sim.add_flow(8.0, ["a->b"], job_id="other")
+    gates.register(flow)
+    assert not flow.gated
+    sim.run()
+    assert flow.end_time == pytest.approx(1.0)
+
+
+def test_gating_toggles_mid_flight(sim):
+    gates = TrafficGateManager(sim)
+    # open [0, 0.5), closed [0.5, 1.0)
+    gates.set_schedule(
+        "app", WindowSchedule(period=1.0, open_intervals=((0.0, 0.5),))
+    )
+    flow = sim.add_flow(8.0, ["a->b"], job_id="app")
+    gates.register(flow)
+    sim.run()
+    # 4 bytes in [0,0.5), blocked [0.5,1.0), 4 bytes in [1.0,1.5)
+    assert flow.end_time == pytest.approx(1.5)
+    assert gates.gate_transitions >= 2
+
+
+def test_clearing_schedule_releases_flows(sim):
+    gates = TrafficGateManager(sim)
+    gates.set_schedule("app", closed_then_open(period=100.0, open_from=99.0))
+    flow = sim.add_flow(8.0, ["a->b"], job_id="app")
+    gates.register(flow)
+    assert flow.gated
+    gates.set_schedule("app", None)
+    assert not flow.gated
+    sim.run()
+    assert flow.end_time == pytest.approx(1.0)
+
+
+def test_ticker_sleeps_when_no_live_flows(sim):
+    """The simulator must drain even with a schedule installed."""
+    gates = TrafficGateManager(sim)
+    gates.set_schedule("app", closed_then_open())
+    flow = sim.add_flow(4.0, ["a->b"], job_id="app")
+    gates.register(flow)
+    t = sim.run()  # must terminate (ticker stops once the flow is done)
+    assert flow.completed
+    assert t < 10.0
+
+
+def test_gate_for_facade(sim):
+    gates = TrafficGateManager(sim)
+    gates.set_schedule("app", closed_then_open())
+    gate = gates.gate_for("app")
+    flow = sim.add_flow(4.0, ["a->b"], job_id="app")
+    gate.register(flow)
+    assert flow.gated
+
+
+def test_schedule_of(sim):
+    gates = TrafficGateManager(sim)
+    schedule = closed_then_open()
+    gates.set_schedule("app", schedule)
+    assert gates.schedule_of("app") is schedule
+    assert gates.schedule_of("ghost") is None

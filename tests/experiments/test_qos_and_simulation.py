@@ -1,0 +1,100 @@
+"""Shape tests for the QoS (Figures 9/10) and large-scale (Figure 11)
+experiments, at reduced scale so the suite stays fast."""
+
+import pytest
+
+from repro.experiments.fig09_qos import (
+    DEFAULT_PENALTY,
+    _run_once,
+    profile_ts_schedule,
+)
+from repro.experiments.fig10_dynamic import run_fig10
+from repro.experiments.fig11_simulation import (
+    precompute_placements,
+    run_fig11,
+)
+
+SMALL_ITERS = {"A": 6, "B": 5, "C": 5}
+
+
+@pytest.fixture(scope="module")
+def qos_jcts():
+    schedule = profile_ts_schedule(0, iterations=SMALL_ITERS, penalty=DEFAULT_PENALTY)
+    out = {}
+    for solution in ("ecmp", "ffa", "pfa", "pfa+ts"):
+        out[solution] = _run_once(
+            solution,
+            1,
+            iterations=SMALL_ITERS,
+            penalty=DEFAULT_PENALTY,
+            ts_schedule=schedule if solution == "pfa+ts" else None,
+        )
+    return out
+
+
+def test_fig09_ecmp_slowest_for_everyone(qos_jcts):
+    for app in ("A", "B", "C"):
+        assert qos_jcts["ecmp"][app] > qos_jcts["ffa"][app]
+
+
+def test_fig09_pfa_prioritizes_a(qos_jcts):
+    assert qos_jcts["pfa"]["A"] <= qos_jcts["ffa"]["A"] * 1.02
+    assert qos_jcts["pfa"]["A"] < qos_jcts["ecmp"]["A"]
+    # B and C pay for A's dedicated route
+    assert qos_jcts["pfa"]["B"] > qos_jcts["ffa"]["B"]
+
+
+def test_fig09_ts_prioritizes_b_without_touching_a(qos_jcts):
+    assert qos_jcts["pfa+ts"]["B"] < qos_jcts["pfa"]["B"]
+    assert qos_jcts["pfa+ts"]["A"] == pytest.approx(qos_jcts["pfa"]["A"], rel=0.02)
+    assert qos_jcts["pfa+ts"]["C"] > qos_jcts["pfa"]["C"]
+
+
+def test_fig10_timeline_story():
+    timeline = run_fig10(t1=1.5, t2=3.0, t3=4.5, t4=6.0, end=7.5)
+    normalized = timeline.normalized()
+    # A alone is fastest; sharing with B then C slows it down.
+    a_alone = normalized[("A", "A alone")]
+    a_ab = normalized[("A", "A+B (FFA)")]
+    a_abc = normalized[("A", "A+B+C (FFA)")]
+    assert a_alone > a_ab >= a_abc * 0.98
+    # PFA lifts A back up.
+    assert normalized[("A", "PFA(A)")] > a_abc
+    # TS lifts B and squeezes C (C may complete no iteration at all in a
+    # short window, which is the extreme form of being squeezed).
+    assert normalized[("B", "PFA+TS(B)")] > normalized[("B", "PFA(A)")]
+    c_after_ts = normalized.get(("C", "PFA+TS(B)"))
+    assert c_after_ts is None or c_after_ts < normalized[("C", "PFA(A)")]
+
+
+# -- Figure 11 -----------------------------------------------------------------
+def test_fig11_placements_are_solution_independent():
+    a = precompute_placements(placement="random", num_jobs=10, iterations=50, seed=3)
+    b = precompute_placements(placement="random", num_jobs=10, iterations=50, seed=3)
+    assert a == b
+    sizes = {j.num_gpus for j in a}
+    assert sizes <= {16, 32}
+
+
+def test_fig11_compact_placement_jobs_pack():
+    jobs = precompute_placements(placement="compact", num_jobs=6, iterations=50, seed=0)
+    from repro.cluster.specs import large_cluster
+
+    cl = large_cluster()
+    for job in jobs:
+        racks = {cl.rack_of(cl.gpu(i)) for i in job.gpu_ids}
+        assert len(racks) == 1  # 16/32 GPUs fit one 32-GPU rack
+
+
+@pytest.mark.slow
+def test_fig11_small_run_shapes():
+    outcome = run_fig11(
+        placement="compact", num_jobs=8, iterations=80, channels=2, seed=0
+    )
+    speedups = outcome.speedups("or")
+    assert all(s > 1.5 for s in speedups)  # OR crushes random GPU rings
+    ffa = outcome.speedups("or+ffa")
+    # FFA adds little under compact placement (§6.5)
+    mean_or = sum(speedups) / len(speedups)
+    mean_ffa = sum(ffa) / len(ffa)
+    assert mean_ffa == pytest.approx(mean_or, rel=0.15)

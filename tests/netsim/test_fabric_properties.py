@@ -1,0 +1,70 @@
+"""Property-based checks of the Clos fabric builder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.fabric import FabricSpec, nic_node, spine_leaf
+
+
+@st.composite
+def fabric_spec(draw):
+    return FabricSpec(
+        num_spines=draw(st.integers(1, 6)),
+        num_leaves=draw(st.integers(2, 6)),
+        hosts_per_leaf=draw(st.integers(1, 4)),
+        nics_per_host=draw(st.integers(1, 4)),
+        nic_gbps=draw(st.sampled_from([25.0, 50.0, 100.0, 200.0])),
+        fabric_gbps=draw(st.sampled_from([50.0, 100.0, 200.0])),
+    )
+
+
+@given(fabric_spec())
+@settings(max_examples=40, deadline=None)
+def test_cross_rack_path_count_equals_spines(spec):
+    fab = spine_leaf(spec)
+    a = nic_node(0, 0)
+    b = nic_node(spec.num_hosts - 1, spec.nics_per_host - 1)
+    paths = fab.topology.equal_cost_paths(a, b)
+    assert len(paths) == spec.num_spines
+    for path in paths:
+        fab.topology.validate_path(path)  # contiguous
+        assert len(path) == 4
+        nodes = fab.topology.path_nodes(path)
+        assert nodes[0] == a and nodes[-1] == b
+        assert sum(1 for n in nodes if n.startswith("spine")) == 1
+
+
+@given(fabric_spec())
+@settings(max_examples=40, deadline=None)
+def test_intra_rack_paths_avoid_spines(spec):
+    if spec.hosts_per_leaf < 2:
+        return
+    fab = spine_leaf(spec)
+    paths = fab.topology.equal_cost_paths(nic_node(0, 0), nic_node(1, 0))
+    assert len(paths) == 1
+    assert not any("spine" in link for link in paths[0])
+
+
+@given(fabric_spec())
+@settings(max_examples=30, deadline=None)
+def test_every_host_maps_to_exactly_one_leaf(spec):
+    fab = spine_leaf(spec)
+    counts = {}
+    for host in range(spec.num_hosts):
+        counts.setdefault(spec.leaf_of_host(host), 0)
+        counts[spec.leaf_of_host(host)] += 1
+    assert all(c == spec.hosts_per_leaf for c in counts.values())
+    assert len(counts) == spec.num_leaves
+
+
+@given(fabric_spec())
+@settings(max_examples=30, deadline=None)
+def test_link_inventory(spec):
+    fab = spine_leaf(spec)
+    links = fab.topology.links
+    expected = (
+        2 * spec.num_leaves * spec.num_spines  # leaf<->spine duplex
+        + 2 * spec.num_hosts * spec.nics_per_host  # nic<->leaf duplex
+        + spec.num_hosts  # one local link per host
+    )
+    assert len(links) == expected

@@ -1,0 +1,68 @@
+"""Flow object invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.flows import Flow
+
+
+def test_flow_requires_positive_size():
+    with pytest.raises(ValueError):
+        Flow(size=0, path=("l",))
+
+
+def test_flow_requires_path():
+    with pytest.raises(ValueError):
+        Flow(size=1.0, path=())
+
+
+def test_flow_requires_positive_weight():
+    with pytest.raises(ValueError):
+        Flow(size=1.0, path=("l",), weight=0.0)
+
+
+def test_flow_ids_unique():
+    a = Flow(size=1.0, path=("l",))
+    b = Flow(size=1.0, path=("l",))
+    assert a.flow_id != b.flow_id
+
+
+def test_initial_state():
+    f = Flow(size=10.0, path=("l1", "l2"))
+    assert f.remaining == 10.0
+    assert not f.completed
+    assert f.active
+    assert f.progress() == 0.0
+
+
+def test_gated_flow_is_not_active():
+    f = Flow(size=10.0, path=("l",), gated=True)
+    assert not f.active and not f.completed
+
+
+def test_fct_requires_completion():
+    f = Flow(size=10.0, path=("l",))
+    with pytest.raises(ValueError):
+        f.fct()
+    f.start_time = 1.0
+    f.end_time = 3.5
+    assert f.fct() == pytest.approx(2.5)
+
+
+@given(st.floats(1.0, 1e9), st.floats(0.0, 1.0))
+def test_progress_bounds(size, frac):
+    f = Flow(size=size, path=("l",))
+    f.remaining = size * (1 - frac)
+    assert 0.0 <= f.progress() <= 1.0 + 1e-9
+    assert f.progress() == pytest.approx(frac, abs=1e-6)
+
+
+def test_path_normalized_to_tuple():
+    f = Flow(size=1.0, path=["l1", "l2"])
+    assert isinstance(f.path, tuple)
+
+
+def test_flows_hash_by_identity():
+    a = Flow(size=1.0, path=("l",))
+    b = Flow(size=1.0, path=("l",))
+    assert len({a, b}) == 2

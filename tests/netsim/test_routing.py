@@ -1,0 +1,105 @@
+"""ECMP hashing and route-id path control."""
+
+import pytest
+
+from repro.netsim.errors import NoPathError
+from repro.netsim.fabric import nic_node, testbed_fabric as build_testbed
+from repro.netsim.routing import (
+    EcmpSelector,
+    RandomSelector,
+    RouteIdSelector,
+    RouteMap,
+    ecmp_hash,
+)
+
+
+@pytest.fixture
+def fab():
+    return build_testbed()
+
+
+def key(i=0):
+    return (nic_node(0, 0), nic_node(2, 0), f"conn{i}")
+
+
+def test_ecmp_hash_is_deterministic():
+    assert ecmp_hash(key(), 2, seed=5) == ecmp_hash(key(), 2, seed=5)
+
+
+def test_ecmp_hash_varies_with_seed():
+    values = {ecmp_hash(key(), 16, seed=s) for s in range(40)}
+    assert len(values) > 4
+
+
+def test_ecmp_hash_varies_with_discriminator():
+    values = {ecmp_hash(key(i), 16) for i in range(40)}
+    assert len(values) > 4
+
+
+def test_ecmp_hash_is_roughly_balanced():
+    hits = [ecmp_hash(key(i), 2) for i in range(400)]
+    ones = sum(hits)
+    assert 120 <= ones <= 280  # loose 2-sided bound
+
+
+def test_ecmp_hash_rejects_zero_paths():
+    with pytest.raises(ValueError):
+        ecmp_hash(key(), 0)
+
+
+def test_ecmp_selector_returns_valid_path(fab):
+    selector = EcmpSelector(seed=3)
+    path = selector.select(fab.topology, key())
+    assert path in fab.topology.equal_cost_paths(*key()[:2])
+
+
+def test_route_map_assignment_and_lookup():
+    rm = RouteMap()
+    rm.assign(key(), 1)
+    assert rm.route_id(key()) == 1
+    assert rm.route_id(key(9)) is None
+    assert len(rm) == 1
+
+
+def test_route_map_rejects_negative():
+    with pytest.raises(ValueError):
+        RouteMap().assign(key(), -1)
+
+
+def test_route_map_merge_and_clear():
+    a, b = RouteMap(), RouteMap()
+    a.assign(key(0), 0)
+    b.assign(key(1), 1)
+    a.merge(b)
+    assert len(a) == 2
+    a.clear_job("conn0")
+    assert a.route_id(key(0)) is None
+    assert a.route_id(key(1)) == 1
+
+
+def test_route_id_selector_honours_map(fab):
+    rm = RouteMap()
+    rm.assign(key(), 1)
+    selector = RouteIdSelector(rm)
+    paths = fab.topology.equal_cost_paths(*key()[:2])
+    assert selector.select(fab.topology, key()) == paths[1]
+
+
+def test_route_id_selector_falls_back_to_ecmp(fab):
+    selector = RouteIdSelector(RouteMap(), fallback_seed=11)
+    expected = EcmpSelector(seed=11).select(fab.topology, key())
+    assert selector.select(fab.topology, key()) == expected
+
+
+def test_route_id_out_of_range_raises(fab):
+    rm = RouteMap()
+    rm.assign(key(), 99)
+    with pytest.raises(NoPathError):
+        RouteIdSelector(rm).select(fab.topology, key())
+
+
+def test_random_selector_seeded(fab):
+    a = RandomSelector(seed=1)
+    b = RandomSelector(seed=1)
+    for i in range(10):
+        assert a.select(fab.topology, key(i)) == b.select(fab.topology, key(i))

@@ -1,0 +1,109 @@
+"""Public error surface and lifecycle edge cases."""
+
+import numpy as np
+import pytest
+
+import repro.errors as errors
+from repro.cluster.gpu import MemcpyOp
+from repro.cluster.specs import testbed_cluster
+from repro.core.deployment import MccsDeployment
+from repro.netsim.units import MB
+
+
+def test_every_error_derives_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError), name
+
+
+def test_errors_module_is_complete():
+    # every module-level exception defined in netsim.errors is re-exported
+    import repro.netsim.errors as impl
+
+    defined = {
+        n
+        for n, obj in vars(impl).items()
+        if isinstance(obj, type) and issubclass(obj, impl.ReproError)
+    }
+    assert defined <= set(errors.__all__)
+
+
+# -- memcpy op ---------------------------------------------------------------
+def test_memcpy_op_duration():
+    op = MemcpyOp(24_000_000, 12e9, "h2d")
+    assert op.duration == pytest.approx(0.002)
+    assert op.name == "memcpy:h2d"
+
+
+def test_memcpy_op_validation():
+    with pytest.raises(ValueError):
+        MemcpyOp(-1, 12e9)
+    with pytest.raises(ValueError):
+        MemcpyOp(1, 0.0)
+    with pytest.raises(ValueError):
+        MemcpyOp(1, 12e9, direction="sideways")
+
+
+def test_gpu_memcpy_occupies_stream():
+    cl = testbed_cluster()
+    gpu = cl.gpus[0]
+    stream = gpu.create_stream()
+    gpu.memcpy(stream, 120_000_000, "h2d")
+    marks = []
+    stream.add_callback(lambda: marks.append(cl.sim.now))
+    cl.sim.run()
+    assert marks == [pytest.approx(0.01)]
+
+
+# -- communicator lifecycle ----------------------------------------------------
+def test_destroy_with_inflight_collective_rejected():
+    cl = testbed_cluster()
+    dep = MccsDeployment(cl)
+    client = dep.connect("A")
+    gpus = [cl.hosts[h].gpus[0] for h in range(4)]
+    comm = client.create_communicator(gpus)
+    client.all_reduce(comm, 64 * MB)
+    with pytest.raises(errors.CommunicatorError):
+        client.destroy_communicator(comm)
+    dep.run()
+    client.adopt_communicator(comm.comm_id)  # still alive
+    client.destroy_communicator(comm)  # fine once drained
+
+
+def test_destroy_from_completion_callback_is_safe():
+    """The Figure 11 driver destroys communicators the moment their last
+    collective completes; the active set must already be clear."""
+    cl = testbed_cluster()
+    dep = MccsDeployment(cl)
+    client = dep.connect("A")
+    gpus = [cl.hosts[h].gpus[0] for h in range(4)]
+    comm = client.create_communicator(gpus)
+    destroyed = []
+
+    def finish(inst, now):
+        client.destroy_communicator(comm)
+        destroyed.append(now)
+
+    client.all_reduce(comm, 8 * MB, on_complete=finish)
+    dep.run()
+    assert destroyed
+    with pytest.raises(errors.CommunicatorError):
+        dep.communicator(comm.comm_id)
+
+
+def test_collective_after_destroy_rejected():
+    cl = testbed_cluster()
+    dep = MccsDeployment(cl)
+    client = dep.connect("A")
+    gpus = [cl.hosts[h].gpus[0] for h in range(4)]
+    comm = client.create_communicator(gpus)
+    client.destroy_communicator(comm)
+    with pytest.raises(errors.CommunicatorError):
+        client.all_reduce(comm, 1 * MB)
+
+
+def test_reconfigure_unknown_communicator():
+    cl = testbed_cluster()
+    dep = MccsDeployment(cl)
+    with pytest.raises(errors.CommunicatorError):
+        dep.reconfigure(424242, ring=[1, 0])

@@ -1,0 +1,90 @@
+"""Connection table tests (shared NCCL/MCCS transport substrate)."""
+
+import pytest
+
+from repro.cluster.specs import testbed_cluster
+from repro.netsim.routing import EcmpSelector, RouteIdSelector, RouteMap
+from repro.transport.connections import ConnectionTable, connection_key
+
+
+@pytest.fixture
+def cl():
+    return testbed_cluster()
+
+
+def test_intra_host_connection_uses_local_link(cl):
+    table = ConnectionTable(cl, "t")
+    conn = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[0].gpus[1], 0, EcmpSelector()
+    )
+    assert conn.intra_host
+    assert conn.path == ["h0.local"]
+
+
+def test_inter_host_connection_has_fabric_path(cl):
+    table = ConnectionTable(cl, "t")
+    conn = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector(seed=1)
+    )
+    assert not conn.intra_host
+    assert conn.path[0].startswith("h0.nic0")
+    assert conn.path[-1].endswith("h2.nic0")
+
+
+def test_channel_selects_nic_pair(cl):
+    table = ConnectionTable(cl, "t")
+    c0 = table.establish_edge(cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector())
+    c1 = table.establish_edge(cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 1, EcmpSelector())
+    assert "h0.nic0" in c0.path[0]
+    assert "h0.nic1" in c1.path[0]
+
+
+def test_path_pinned_for_connection_lifetime(cl):
+    """The ECMP hash decided at establishment sticks (same object back)."""
+    table = ConnectionTable(cl, "t")
+    first = table.establish_edge(cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector())
+    again = table.establish_edge(cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector(seed=999))
+    assert first is again
+
+
+def test_establish_many(cl):
+    table = ConnectionTable(cl, "t")
+    edges = [
+        (cl.hosts[0].gpus[0], cl.hosts[1].gpus[0]),
+        (cl.hosts[1].gpus[0], cl.hosts[0].gpus[0]),
+    ]
+    table.establish(edges, channels=2, selector=EcmpSelector())
+    assert len(table) == 4
+    assert len(table.inter_host_connections()) == 4
+
+
+def test_lookup_missing_connection_raises(cl):
+    table = ConnectionTable(cl, "t")
+    with pytest.raises(KeyError):
+        table.connection(cl.hosts[0].gpus[0], cl.hosts[1].gpus[0], 0)
+
+
+def test_teardown_closes_everything(cl):
+    table = ConnectionTable(cl, "t")
+    table.establish_edge(cl.hosts[0].gpus[0], cl.hosts[1].gpus[0], 0, EcmpSelector())
+    table.teardown()
+    assert len(table) == 0
+    assert table.torn_down
+    with pytest.raises(RuntimeError):
+        table.establish_edge(cl.hosts[0].gpus[0], cl.hosts[1].gpus[0], 0, EcmpSelector())
+
+
+def test_connection_key_uses_channel_nics(cl):
+    key = connection_key(cl, cl.hosts[0].gpus[1], cl.hosts[2].gpus[0], 1, "job")
+    assert key == ("h0.nic0", "h2.nic1", "job/ch1")
+
+
+def test_route_map_controls_connection_path(cl):
+    rm = RouteMap()
+    key = connection_key(cl, cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, "j")
+    rm.assign(key, 1)
+    table = ConnectionTable(cl, "j")
+    conn = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, RouteIdSelector(rm)
+    )
+    assert "spine1" in " ".join(conn.path)

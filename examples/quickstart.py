@@ -61,5 +61,12 @@ def main() -> None:
     print(f"  provider-chosen ring: {info['ring']} "
           f"(channels={info['channels']}, routes={info['routes']})")
 
+    # Every layer reported into the deployment's telemetry hub along the
+    # way: counters, span-traced collectives, link-utilization samples.
+    print()
+    print("telemetry summary")
+    for line in deployment.telemetry().summary_lines():
+        print(f"  {line}")
+
 if __name__ == "__main__":
     main()

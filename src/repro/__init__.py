@@ -56,6 +56,7 @@ from .core import (
     WindowSchedule,
 )
 from .core.controller import CentralManager, PolicyReport
+from .telemetry import TelemetryHub
 from .netsim import (
     BackgroundTrafficManager,
     FlowSimulator,
@@ -97,6 +98,7 @@ __all__ = [
     "RingDataPlane",
     "RingSchedule",
     "ServiceCommunicator",
+    "TelemetryHub",
     "Topology",
     "TrafficGenerator",
     "WindowSchedule",

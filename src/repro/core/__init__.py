@@ -32,7 +32,7 @@ from .reconfig import (
 from .service import FrontendEngine, MccsService
 from .shim import ClientCollective, MccsBuffer, MccsClient, MccsCommunicator
 from .strategy import CollectiveStrategy, default_strategy
-from .tracing import CommTrace, TraceRecord, TraceStore
+from .tracing import DEFAULT_TRACE_CAPACITY, CommTrace, TraceRecord, TraceStore
 from .transport import TrafficGateManager, WindowSchedule
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "CreateCommunicatorRequest",
     "CreateCommunicatorResponse",
     "DEFAULT_CONTROL_RING_LATENCY",
+    "DEFAULT_TRACE_CAPACITY",
     "DestroyCommunicatorRequest",
     "FreeRequest",
     "FrontendEngine",

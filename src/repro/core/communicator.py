@@ -30,6 +30,13 @@ from ..collectives.ring import RingSchedule  # noqa: F401  (re-export for tests)
 from ..collectives.types import Collective, ReduceOp, validate_world
 from ..netsim.errors import ReconfigurationError
 from ..netsim.routing import RouteIdSelector, RouteMap
+from ..telemetry.hub import TelemetryHub
+from ..telemetry.spans import (
+    EVENT_LAST_FLOW_END,
+    EVENT_RANK_LAUNCH,
+    Span,
+    SpanRecorder,
+)
 from ..transport.connections import ConnectionTable, connection_key
 from .strategy import CollectiveStrategy
 from .tracing import CommTrace
@@ -135,6 +142,11 @@ class CollectiveInstance:
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     rank_versions: Dict[int, int] = field(default_factory=dict)
+    #: Root lifecycle span (attached by the deployment's frontend path).
+    span: Optional[Span] = None
+    _phase_queued: Optional[Span] = None
+    _phase_launch: Optional[Span] = None
+    _phase_network: Optional[Span] = None
     _launched: Set[int] = field(default_factory=set)
     _pending_flows: int = 0
     _injected_ranks: Set[int] = field(default_factory=set)
@@ -156,6 +168,55 @@ class CollectiveInstance:
         if self.end_time is None:
             raise ValueError(f"collective seq={self.seq} still in flight")
         return self.end_time - self.issue_time
+
+    # ------------------------------------------------------------------
+    # telemetry spans
+    # ------------------------------------------------------------------
+    def _span_recorder(self) -> Optional[SpanRecorder]:
+        if self.span is not None and self.comm.telemetry is not None:
+            return self.comm.telemetry.spans
+        return None
+
+    def _phase_attrs(self) -> Dict[str, object]:
+        return {"app": self.comm.app_id, "comm": f"comm{self.comm.comm_id}"}
+
+    def attach_span(self, span: Span) -> None:
+        """Adopt ``span`` as this collective's root lifecycle span and open
+        the ``queued`` phase child (issue to first proxy launch)."""
+        self.span = span
+        recorder = self._span_recorder()
+        if recorder is not None:
+            self._phase_queued = recorder.begin(
+                "queued", span.start, category="phase", parent=span,
+                **self._phase_attrs(),
+            )
+
+    def _enter_launch_phase(self, now: float) -> None:
+        recorder = self._span_recorder()
+        if recorder is None:
+            return
+        if self._phase_queued is not None and not self._phase_queued.finished:
+            self._phase_queued.finish(now)
+            self._phase_launch = recorder.begin(
+                "launch", now, category="phase", parent=self.span,
+                **self._phase_attrs(),
+            )
+
+    def _enter_network_phase(self, now: float) -> None:
+        recorder = self._span_recorder()
+        if recorder is None:
+            return
+        if self._phase_launch is not None and not self._phase_launch.finished:
+            self._phase_launch.finish(now)
+        self._phase_network = recorder.begin(
+            "network", now, category="phase", parent=self.span,
+            **self._phase_attrs(),
+        )
+
+    def _close_phases(self, now: float) -> None:
+        for phase in (self._phase_queued, self._phase_launch, self._phase_network):
+            if phase is not None and not phase.finished:
+                phase.finish(now)
 
     # ------------------------------------------------------------------
     def _context(self, strategy: CollectiveStrategy, rank: int) -> "AlgorithmContext":
@@ -184,6 +245,12 @@ class CollectiveInstance:
         self._launched.add(rank)
         self.rank_versions[rank] = strategy.version
         comm = self.comm
+        if self.span is not None:
+            self.span.mark(
+                EVENT_RANK_LAUNCH, comm.sim.now,
+                rank=rank, version=strategy.version,
+            )
+        self._enter_launch_phase(comm.sim.now)
         comm.datapath.acquire(strategy.version)
         algorithm = get_algorithm(strategy.algorithm)
         fixed = comm.latency.collective_latency(
@@ -197,9 +264,11 @@ class CollectiveInstance:
         comm = self.comm
         if self.start_time is None:
             self.start_time = comm.sim.now
+            self._enter_network_phase(comm.sim.now)
             if comm.trace_record:
-                rec = comm.trace.records[self.seq]
-                rec.start_time = comm.sim.now
+                rec = comm.trace.record_for(self.seq)
+                if rec is not None:
+                    rec.start_time = comm.sim.now
         table, selector = comm.datapath.table_for(strategy, comm.gpus)
         algorithm = get_algorithm(strategy.algorithm)
         transfers = algorithm.rank_transfers(self._context(strategy, rank))
@@ -266,8 +335,25 @@ class CollectiveInstance:
             if self.recv_views is not None:
                 for dst, src in zip(self.recv_views, outputs):
                     np.copyto(dst, src.reshape(dst.shape))
+        self._close_phases(self.end_time)
         if comm.trace_record:
-            comm.trace.records[self.seq].end_time = self.end_time
+            rec = comm.trace.record_for(self.seq)
+            if rec is not None:
+                rec.end_time = self.end_time
+        if self.span is not None and not self.span.finished:
+            # Record already evicted (or tracing off): finish the span here.
+            self.span.mark(EVENT_LAST_FLOW_END, self.end_time)
+            self.span.finish(self.end_time)
+        if comm.telemetry is not None:
+            metrics = comm.telemetry.metrics
+            metrics.counter(
+                "mccs_collectives_completed_total",
+                "Collectives fully drained, by app and kind.",
+            ).inc(app=comm.app_id, kind=self.kind.value)
+            metrics.histogram(
+                "mccs_collective_duration_seconds",
+                "Issue-to-completion time of collectives, by app.",
+            ).observe(self.end_time - self.issue_time, app=comm.app_id)
         # Retire from the active set before waking anyone: completion
         # callbacks may immediately destroy the communicator.
         comm.on_instance_finished(self)
@@ -292,6 +378,7 @@ class ServiceCommunicator:
         gate=None,
         trace: Optional[CommTrace] = None,
         strict_consistency: bool = False,
+        telemetry: Optional[TelemetryHub] = None,
     ) -> None:
         validate_world(len(gpus))
         if strategy.world != len(gpus):
@@ -322,6 +409,7 @@ class ServiceCommunicator:
         self.strict_consistency = strict_consistency
         self.trace = trace if trace is not None else CommTrace(self.comm_id, app_id)
         self.trace_record = True
+        self.telemetry = telemetry
         self.destroyed = False
 
     # ------------------------------------------------------------------

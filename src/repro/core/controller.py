@@ -55,6 +55,25 @@ class CentralManager:
         self.background = background
         self.reports: List[PolicyReport] = []
 
+    def _record_report(self, report: PolicyReport) -> PolicyReport:
+        """File a policy pass in the reports list and the telemetry
+        decision log (the §4.3 "policy decision" trail)."""
+        self.reports.append(report)
+        hub = self.deployment.telemetry()
+        hub.metrics.counter(
+            "mccs_policy_runs_total", "Controller policy passes, by policy."
+        ).inc(policy=report.policy)
+        hub.events.log(
+            self.deployment.sim.now,
+            "policy_run",
+            f"{report.policy} reconfigured "
+            f"{len(report.reconfigured_comms)} communicator(s)",
+            policy=report.policy,
+            reconfigured=list(report.reconfigured_comms),
+            compute_seconds=report.compute_seconds,
+        )
+        return report
+
     # ------------------------------------------------------------------
     # admission: provider-optimized initial strategy
     # ------------------------------------------------------------------
@@ -109,8 +128,7 @@ class CentralManager:
                 )
                 report.reconfigured_comms.append(comm.comm_id)
         report.compute_seconds = time.perf_counter() - started
-        self.reports.append(report)
-        return report
+        return self._record_report(report)
 
     # ------------------------------------------------------------------
     # Examples #2 and #3: flow assignment
@@ -152,8 +170,7 @@ class CentralManager:
                 )
                 report.reconfigured_comms.append(comm.comm_id)
         report.compute_seconds = time.perf_counter() - started
-        self.reports.append(report)
-        return report
+        return self._record_report(report)
 
     # ------------------------------------------------------------------
     # Example #4: traffic scheduling
@@ -190,8 +207,7 @@ class CentralManager:
         for other in sorted(others):
             self.deployment.set_traffic_schedule(other, schedule)
         report.compute_seconds = time.perf_counter() - started
-        self.reports.append(report)
-        return report
+        return self._record_report(report)
 
     def clear_traffic_schedules(self) -> None:
         for comm in self.deployment.communicators():

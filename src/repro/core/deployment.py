@@ -27,6 +27,7 @@ from ..cluster.specs import Cluster
 from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
 from ..collectives.types import input_bytes
 from ..netsim.errors import CommunicatorError, InvalidBufferError, MccsError
+from ..telemetry.hub import TelemetryHub
 from .communicator import CollectiveInstance, ServiceCommunicator
 from .messages import (
     BufferRef,
@@ -40,7 +41,7 @@ from .proxy import ProxyEngine
 from .reconfig import DEFAULT_CONTROL_RING_LATENCY, ReconfigManager, ReconfigSession
 from .service import MccsService
 from .strategy import CollectiveStrategy, default_strategy
-from .tracing import CommTrace, TraceStore
+from .tracing import DEFAULT_TRACE_CAPACITY, CommTrace, TraceStore
 from .transport import TrafficGateManager, WindowSchedule
 
 
@@ -55,6 +56,8 @@ class MccsDeployment:
         ecmp_seed: int = 0,
         control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
         strict_consistency: bool = False,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        telemetry: Optional[TelemetryHub] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -62,12 +65,17 @@ class MccsDeployment:
         self.ecmp_seed = ecmp_seed
         self.control_latency = control_latency
         self.strict_consistency = strict_consistency
+        self._telemetry = telemetry if telemetry is not None else TelemetryHub()
+        self._telemetry.attach_network(cluster.sim)
         self.services: Dict[int, MccsService] = {
-            host.host_id: MccsService(cluster, host) for host in cluster.hosts
+            host.host_id: MccsService(cluster, host, telemetry=self._telemetry)
+            for host in cluster.hosts
         }
-        self.gates = TrafficGateManager(cluster.sim)
-        self.traces = TraceStore()
-        self.reconfig = ReconfigManager(cluster.sim, self.proxies_of)
+        self.gates = TrafficGateManager(cluster.sim, telemetry=self._telemetry)
+        self.traces = TraceStore(max_records_per_comm=trace_capacity)
+        self.reconfig = ReconfigManager(
+            cluster.sim, self.proxies_of, telemetry=self._telemetry
+        )
         self._comms: Dict[int, ServiceCommunicator] = {}
         self._comm_owner: Dict[int, str] = {}
         #: Optional provider hook deciding the initial strategy of every
@@ -131,6 +139,7 @@ class MccsDeployment:
             ecmp_seed=self.ecmp_seed,
             gate=self.gates.gate_for(app_id),
             strict_consistency=self.strict_consistency,
+            telemetry=self._telemetry,
         )
         comm.trace = self.traces.trace_for(comm.comm_id, app_id)
         self._comms[comm.comm_id] = comm
@@ -171,7 +180,23 @@ class MccsDeployment:
         send_views, recv_views = self._validated_views(app_id, comm, request)
         seq = comm.next_seq
         comm.next_seq += 1
-        comm.trace.record_issue(seq, request.kind, request.out_bytes, self.sim.now)
+        span = self._telemetry.spans.begin(
+            f"{request.kind.value} comm{comm.comm_id}.s{seq}",
+            self.sim.now,
+            category="collective",
+            app=app_id,
+            comm=f"comm{comm.comm_id}",
+            seq=seq,
+            kind=request.kind.value,
+            bytes=request.out_bytes,
+        )
+        comm.trace.record_issue(
+            seq, request.kind, request.out_bytes, self.sim.now, span=span
+        )
+        self._telemetry.metrics.counter(
+            "mccs_collectives_issued_total",
+            "Collectives accepted by the frontend, by app and kind.",
+        ).inc(app=app_id, kind=request.kind.value)
         instance = CollectiveInstance(
             comm=comm,
             seq=seq,
@@ -186,6 +211,7 @@ class MccsDeployment:
         )
         comm.instances.append(instance)
         comm.active_instances.add(seq)
+        instance.attach_span(span)
 
         root_host = self.cluster.hosts[comm.gpus[0].host_id]
         if request.stream_event is not None:
@@ -356,6 +382,13 @@ class MccsDeployment:
         if trace is None:
             raise CommunicatorError(f"no trace for communicator {comm_id}")
         return trace
+
+    def telemetry(self) -> TelemetryHub:
+        """Provider-side observability surface: metrics, spans, decision
+        events, and link-utilization series, with exporters attached
+        (:meth:`TelemetryHub.to_prometheus`, :meth:`~TelemetryHub.to_json`,
+        :meth:`~TelemetryHub.to_chrome_trace`)."""
+        return self._telemetry
 
     def proxies_of(self, comm: ServiceCommunicator) -> List[ProxyEngine]:
         return [

@@ -15,10 +15,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
 from ..netsim.errors import ReconfigurationError
+from ..telemetry.spans import EVENT_HELD
 from .communicator import CollectiveInstance, ServiceCommunicator
 from .strategy import CollectiveStrategy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
+    from ..telemetry.hub import TelemetryHub
     from .reconfig import ReconfigSession
 
 CommRankKey = Tuple[int, int]
@@ -35,6 +37,7 @@ class _RankState:
     pending: Deque[CollectiveInstance] = field(default_factory=deque)
     session: Optional["ReconfigSession"] = None
     catch_up_max: Optional[int] = None
+    hold_since: Optional[float] = None
 
 
 class ProxyEngine:
@@ -44,9 +47,15 @@ class ProxyEngine:
     multiple applications sharing the GPU share this engine (§5).
     """
 
-    def __init__(self, host_id: int, gpu_global_id: int) -> None:
+    def __init__(
+        self,
+        host_id: int,
+        gpu_global_id: int,
+        telemetry: Optional["TelemetryHub"] = None,
+    ) -> None:
         self.host_id = host_id
         self.gpu_global_id = gpu_global_id
+        self.telemetry = telemetry
         self._ranks: Dict[CommRankKey, _RankState] = {}
         self.launches = 0
         self.reconfigurations = 0
@@ -108,6 +117,16 @@ class ProxyEngine:
             if state.launched_seq >= state.catch_up_max:
                 self._apply(state, rank)
             return
+        if instance.span is not None:
+            instance.span.mark(
+                EVENT_HELD, instance.comm.sim.now, rank=rank,
+                gpu=self.gpu_global_id,
+            )
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "mccs_launches_held_total",
+                "Collective launches queued behind a reconfiguration barrier.",
+            ).inc(comm=f"comm{instance.comm.comm_id}")
         state.pending.append(instance)
 
     def _launch(
@@ -149,6 +168,7 @@ class ProxyEngine:
         state.session = session
         if session.barrier_enabled:
             state.holding = True
+            state.hold_since = session.comm.sim.now
             session.contribute(rank, state.launched_seq)
         else:
             state.strategy = session.new_strategy
@@ -185,10 +205,16 @@ class ProxyEngine:
         session = state.session
         if session is None:
             raise ReconfigurationError("apply without an active session")
+        if self.telemetry is not None and state.hold_since is not None:
+            self.telemetry.metrics.histogram(
+                "mccs_proxy_hold_seconds",
+                "Per-rank time spent holding launches during reconfiguration.",
+            ).observe(session.comm.sim.now - state.hold_since)
         state.strategy = session.new_strategy
         state.holding = False
         state.catch_up_max = None
         state.session = None
+        state.hold_since = None
         self.reconfigurations += 1
         session.mark_applied(rank)
         while state.pending:

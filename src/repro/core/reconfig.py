@@ -27,10 +27,12 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set
 
 from ..netsim.engine import FlowSimulator
 from ..netsim.errors import ReconfigurationError
+from ..telemetry.spans import EVENT_BARRIER_RESOLVED, EVENT_RANK_APPLIED
 from .communicator import ServiceCommunicator
 from .strategy import CollectiveStrategy
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry.hub import TelemetryHub
     from .proxy import ProxyEngine
 
 _session_counter = itertools.count()
@@ -88,6 +90,7 @@ class ReconfigSession:
         barrier_enabled: bool = True,
         control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
         on_done: Optional[Callable[["ReconfigSession"], None]] = None,
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         if new_strategy.version <= comm.strategy.version:
             raise ReconfigurationError(
@@ -108,6 +111,38 @@ class ReconfigSession:
             comm.sim, comm.world, control_latency, self._barrier_resolved
         )
         self.max_seq: Optional[int] = None
+        self.telemetry = telemetry
+        self.span = None
+        self._barrier_span = None
+        if telemetry is not None:
+            attrs = {"app": comm.app_id, "comm": f"comm{comm.comm_id}"}
+            self.span = telemetry.spans.begin(
+                f"reconfig comm{comm.comm_id} "
+                f"v{comm.strategy.version}->v{new_strategy.version}",
+                self.issue_time,
+                category="reconfig",
+                session=self.session_id,
+                barrier_enabled=barrier_enabled,
+                **attrs,
+            )
+            if barrier_enabled:
+                # The Figure 4 stall: command issue to AllGather resolution.
+                self._barrier_span = telemetry.spans.begin(
+                    "barrier", self.issue_time, category="reconfig",
+                    parent=self.span, **attrs,
+                )
+            telemetry.events.log(
+                self.issue_time,
+                "reconfig_issued",
+                f"comm{comm.comm_id} -> v{new_strategy.version}",
+                comm=comm.comm_id,
+                version=new_strategy.version,
+                barrier=barrier_enabled,
+            )
+            telemetry.metrics.counter(
+                "mccs_reconfigs_total",
+                "Reconfiguration commands issued, by communicator.",
+            ).inc(comm=f"comm{comm.comm_id}")
 
     # ------------------------------------------------------------------
     def deliver(self, rank: int, delay: float) -> None:
@@ -122,6 +157,17 @@ class ReconfigSession:
     def _barrier_resolved(self, max_seq: int) -> None:
         self.max_seq = max_seq
         self.resolve_time = self.comm.sim.now
+        if self.span is not None:
+            self.span.mark(
+                EVENT_BARRIER_RESOLVED, self.resolve_time, max_seq=max_seq
+            )
+        if self._barrier_span is not None:
+            self._barrier_span.finish(self.resolve_time)
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram(
+                "mccs_barrier_stall_seconds",
+                "Reconfiguration barrier stall (issue to AllGather resolve).",
+            ).observe(self.resolve_time - self.issue_time)
         # All proxies learn the cut; the communicator adopts the new
         # strategy version so freshly retired connection tables know what
         # "current" means.
@@ -137,8 +183,25 @@ class ReconfigSession:
             # broken-protocol mode: commit on first application so that
             # launches under the new version find the strategy registered
             self.comm.commit_strategy(self.new_strategy)
+        if self.span is not None:
+            self.span.mark(EVENT_RANK_APPLIED, self.comm.sim.now, rank=rank)
         if len(self._applied) == self.comm.world:
             self.done_time = self.comm.sim.now
+            if self.span is not None:
+                self.span.finish(self.done_time)
+            if self.telemetry is not None:
+                self.telemetry.metrics.histogram(
+                    "mccs_reconfig_duration_seconds",
+                    "Reconfiguration issue-to-applied-everywhere time.",
+                ).observe(self.done_time - self.issue_time)
+                self.telemetry.events.log(
+                    self.done_time,
+                    "reconfig_done",
+                    f"comm{self.comm.comm_id} at v{self.new_strategy.version}",
+                    comm=self.comm.comm_id,
+                    version=self.new_strategy.version,
+                    duration=self.done_time - self.issue_time,
+                )
             if self._on_done is not None:
                 self._on_done(self)
 
@@ -155,9 +218,15 @@ class ReconfigManager:
     outputs of its policies.
     """
 
-    def __init__(self, sim: FlowSimulator, proxies_of: Callable[[ServiceCommunicator], List["ProxyEngine"]]) -> None:
+    def __init__(
+        self,
+        sim: FlowSimulator,
+        proxies_of: Callable[[ServiceCommunicator], List["ProxyEngine"]],
+        telemetry: Optional["TelemetryHub"] = None,
+    ) -> None:
         self._sim = sim
         self._proxies_of = proxies_of
+        self._telemetry = telemetry
         self._active: Dict[int, ReconfigSession] = {}
         self.sessions: List[ReconfigSession] = []
 
@@ -203,6 +272,7 @@ class ReconfigManager:
             barrier_enabled=barrier_enabled,
             control_latency=control_latency,
             on_done=finished,
+            telemetry=self._telemetry,
         )
         self._active[comm.comm_id] = session
         self.sessions.append(session)

@@ -126,11 +126,18 @@ class MccsClient:
         service = self.deployment.service_of_gpu(gpu)
         return service.frontend_for(self.app_id, self.deployment).queue
 
+    def _count_call(self, call: str) -> None:
+        self.deployment.telemetry().metrics.counter(
+            "mccs_shim_calls_total",
+            "Shim API calls, by app and call.",
+        ).inc(app=self.app_id, call=call)
+
     # ------------------------------------------------------------------
     # memory management
     # ------------------------------------------------------------------
     def alloc(self, gpu: GpuDevice, size: int) -> MccsBuffer:
         """Allocate ``size`` bytes on ``gpu`` through the MCCS service."""
+        self._count_call("alloc")
         response = self._queue_for(gpu).call(
             AllocateRequest(gpu_global_id=gpu.global_id, size=size)
         )
@@ -156,6 +163,7 @@ class MccsClient:
         """
         if buf.freed:
             raise MccsError(f"double free of buffer {buf.buffer_id}")
+        self._count_call("free")
         host = self.cluster.hosts[buf.gpu.host_id]
         host.ipc.close_memory(buf.handle)
         self._queue_for(buf.gpu).call(FreeRequest(buffer_id=buf.buffer_id))
@@ -167,6 +175,7 @@ class MccsClient:
     # ------------------------------------------------------------------
     def create_communicator(self, gpus: Sequence[GpuDevice]) -> MccsCommunicator:
         """Create a communicator; rank i is ``gpus[i]``."""
+        self._count_call("create_communicator")
         response = self._queue_for(gpus[0]).call(
             CreateCommunicatorRequest(
                 gpu_global_ids=tuple(g.global_id for g in gpus)
@@ -202,6 +211,7 @@ class MccsClient:
         return comm
 
     def destroy_communicator(self, comm: MccsCommunicator) -> None:
+        self._count_call("destroy_communicator")
         self._queue_for(comm.gpus[0]).call(
             DestroyCommunicatorRequest(comm_id=comm.comm_id)
         )
@@ -248,6 +258,7 @@ class MccsClient:
         """
         from .messages import P2pRequest, P2pResponse
 
+        self._count_call("send_recv")
         root_host = self.cluster.hosts[comm.gpus[0].host_id]
         stream_event_handle = None
         if stream is not None:
@@ -294,6 +305,7 @@ class MccsClient:
         wait on the returned completion event (so consumers wait for the
         collective) — the full §4.1 synchronization dance.
         """
+        self._count_call(kind.value)
         root_host = self.cluster.hosts[comm.gpus[0].host_id]
         stream_event_handle = None
         if stream is not None:

@@ -15,10 +15,13 @@ and releases the application's live flows on the simulator clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..netsim.engine import FlowSimulator
 from ..netsim.flows import Flow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry.hub import TelemetryHub
 
 _EPS = 1e-9
 
@@ -84,8 +87,11 @@ class TrafficGateManager:
     :meth:`TrafficGateManager.set_schedule`.
     """
 
-    def __init__(self, sim: FlowSimulator) -> None:
+    def __init__(
+        self, sim: FlowSimulator, telemetry: Optional["TelemetryHub"] = None
+    ) -> None:
         self._sim = sim
+        self._telemetry = telemetry
         self._schedules: Dict[str, WindowSchedule] = {}
         self._live: Dict[str, Set[Flow]] = {}
         self._ticking: Set[str] = set()
@@ -94,6 +100,15 @@ class TrafficGateManager:
     # -- policy interface -------------------------------------------------
     def set_schedule(self, app_id: str, schedule: Optional[WindowSchedule]) -> None:
         """Install (or clear, with ``None``) an app's transmission windows."""
+        if self._telemetry is not None:
+            self._telemetry.events.log(
+                self._sim.now,
+                "traffic_schedule",
+                ("cleared" if schedule is None else "installed")
+                + f" for {app_id}",
+                app=app_id,
+                period=None if schedule is None else schedule.period,
+            )
         if schedule is None:
             self._schedules.pop(app_id, None)
             for flow in self._flows_of(app_id):

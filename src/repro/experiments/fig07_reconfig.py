@@ -12,7 +12,8 @@ bandwidth recovers immediately, with the application never interrupted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..cluster.specs import ring_cluster
@@ -20,6 +21,8 @@ from ..core.controller import CentralManager
 from ..core.deployment import MccsDeployment
 from ..netsim.background import BackgroundTrafficManager
 from ..netsim.units import MB
+from ..telemetry import TelemetryHub
+from ..telemetry.reporter import get_default_reporter
 from .report import print_table
 
 
@@ -41,6 +44,9 @@ class ReconfigTimeline:
     reconfig_done: Optional[float]
     ring_before: tuple
     ring_after: tuple
+    #: The deployment's telemetry hub — spans (including the reconfig
+    #: barrier), metrics, and link-utilization series for this run.
+    telemetry: Optional[TelemetryHub] = field(default=None, repr=False)
 
     def bandwidth_in(self, start: float, end: float) -> float:
         window = [p.algbw_gBps for p in self.points if start <= p.time < end]
@@ -86,23 +92,11 @@ def run_fig07(
     cluster.sim.schedule(bg_start, lambda: background.occupy(loaded_link, bg_gbps))
     reconfig_done = {"time": None}
 
+    def done(sess) -> None:
+        reconfig_done["time"] = cluster.sim.now
+
     def react() -> None:
-        session = manager.adapt_to_background(state.comm_id)
-        if session is not None:
-
-            def done(sess) -> None:
-                reconfig_done["time"] = cluster.sim.now
-
-            session_on_done = done
-            # attach completion observer
-            original = session._on_done
-
-            def chained(sess):
-                if original is not None:
-                    original(sess)
-                session_on_done(sess)
-
-            session._on_done = chained
+        manager.adapt_to_background(state.comm_id, on_done=done)
 
     cluster.sim.schedule(reconfig_at, react)
     deployment.run(until=duration + 1.0)
@@ -113,11 +107,20 @@ def run_fig07(
         reconfig_done=reconfig_done["time"],
         ring_before=ring_before,
         ring_after=deployment.communicator(state.comm_id).strategy.ring.order,
+        telemetry=deployment.telemetry(),
     )
 
 
-def main() -> None:
+def main(trace_out: Optional[str] = None) -> None:
+    """Run the Figure 7 scenario and report it.
+
+    ``trace_out`` (or the ``MCCS_TRACE_OUT`` environment variable) names a
+    file to receive the run's Chrome trace-event JSON — load it in
+    ``chrome://tracing`` or Perfetto to see the reconfiguration barrier
+    stall as a span between the collectives.
+    """
     timeline = run_fig07()
+    reporter = get_default_reporter()
     rows = []
     step = 1.0
     t = 0.0
@@ -133,10 +136,22 @@ def main() -> None:
         rows,
         title="Figure 7b — AllReduce bandwidth around a 75G background flow",
     )
-    print(f"background flow starts: t={timeline.bg_start}s")
-    print(f"reconfig issued:        t={timeline.reconfig_issued}s")
-    print(f"reconfig applied:       t={timeline.reconfig_done}")
-    print(f"ring: {timeline.ring_before} -> {timeline.ring_after}")
+    reporter.line(f"background flow starts: t={timeline.bg_start}s")
+    reporter.line(f"reconfig issued:        t={timeline.reconfig_issued}s")
+    reporter.line(f"reconfig applied:       t={timeline.reconfig_done}")
+    reporter.line(f"ring: {timeline.ring_before} -> {timeline.ring_after}")
+    hub = timeline.telemetry
+    if hub is not None:
+        stall = hub.metrics.histograms().get("mccs_barrier_stall_seconds")
+        if stall is not None and stall.count() > 0:
+            reporter.line(
+                f"barrier stall:          {stall.mean() * 1e3:.3f} ms "
+                f"over {stall.count()} reconfiguration(s)"
+            )
+        if trace_out is None:
+            trace_out = os.environ.get("MCCS_TRACE_OUT")
+        if trace_out:
+            reporter.dump_json(hub.to_chrome_trace(), trace_out)
 
 
 if __name__ == "__main__":

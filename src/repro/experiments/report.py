@@ -3,6 +3,12 @@
 Every ``figNN`` module produces plain dataclasses and renders them with
 these helpers, so benchmark output looks like the rows/series the paper
 plots (mean plus a 95% interval where the paper shades one).
+
+Text output goes through the pluggable telemetry reporter
+(:mod:`repro.telemetry.reporter`): ``print_table`` writes to the default
+reporter's sink — stdout unless a harness installed a
+:class:`~repro.telemetry.reporter.BufferSink` or stream sink via
+``set_default_reporter``.
 """
 
 from __future__ import annotations
@@ -10,6 +16,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..telemetry.reporter import format_table, get_default_reporter
+
+__all__ = [
+    "Stat",
+    "ascii_cdf",
+    "cdf_points",
+    "format_table",
+    "geometric_mean",
+    "print_table",
+    "sparkline",
+]
 
 
 @dataclass(frozen=True)
@@ -47,30 +65,11 @@ class Stat:
         return f"{self.mean:.3g} [{self.lo:.3g}, {self.hi:.3g}]"
 
 
-def format_table(
-    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
-) -> str:
-    """Fixed-width text table."""
-    str_rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in str_rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
 def print_table(
     headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
 ) -> None:
-    print(format_table(headers, rows, title))
-    print()
+    """Render a table through the default reporter (stdout by default)."""
+    get_default_reporter().table(headers, rows, title)
 
 
 def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:

@@ -32,6 +32,30 @@ _TIME_EPS = 1e-12
 EventCallback = Callable[[], None]
 
 
+class SimObserver:
+    """No-op base class for :class:`FlowSimulator` observers.
+
+    Observers are the engine's telemetry hook: they see every flow enter
+    and leave the network, every gate transition, and every rate
+    recomputation, without being able to perturb the simulation.  The
+    telemetry layer's link-utilization sampler
+    (:class:`repro.telemetry.sampler.NetworkTelemetry`) is the main
+    implementation; subclass and override what you need.
+    """
+
+    def on_flow_added(self, flow: Flow, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_flow_completed(self, flow: Flow, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_flow_gated(self, flow: Flow, gated: bool, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_rates_recomputed(self, now: float) -> None:  # pragma: no cover
+        pass
+
+
 class FlowSimulator:
     """Fluid flow-level network simulator with max-min fair sharing.
 
@@ -71,8 +95,19 @@ class FlowSimulator:
         self._event_seq = itertools.count()
         self._dirty = True
         self._solver: Optional[FairnessSolver] = None
+        self._observers: List[SimObserver] = []
         self.flows_completed = 0
         self.rate_recomputations = 0
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: SimObserver) -> None:
+        """Attach a telemetry observer (see :class:`SimObserver`)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: SimObserver) -> None:
+        self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # flow management
@@ -102,6 +137,8 @@ class FlowSimulator:
         flow.start_time = self.now
         self._active[flow.flow_id] = flow
         self._dirty = True
+        for observer in self._observers:
+            observer.on_flow_added(flow, self.now)
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -124,6 +161,8 @@ class FlowSimulator:
         if flow.gated != gated:
             flow.gated = gated
             self._dirty = True
+            for observer in self._observers:
+                observer.on_flow_gated(flow, gated, self.now)
 
     def active_flows(self) -> List[Flow]:
         """All flows currently in the network (including gated ones)."""
@@ -255,6 +294,8 @@ class FlowSimulator:
             flow.rate = rates[flow.flow_id]
         self._dirty = False
         self.rate_recomputations += 1
+        for observer in self._observers:
+            observer.on_rates_recomputed(self.now)
 
     def _effective_capacities(self, flows: List[Flow]) -> Dict[str, float]:
         """Per-recompute capacities, with the interference model applied.
@@ -308,6 +349,7 @@ class FlowSimulator:
         self.now = t
 
     def _complete_flows(self, finishing: List[Flow]) -> None:
+        completed: List[Flow] = []
         for flow in finishing:
             if flow.flow_id not in self._active:
                 continue
@@ -316,6 +358,10 @@ class FlowSimulator:
             del self._active[flow.flow_id]
             self.flows_completed += 1
             self._dirty = True
+            completed.append(flow)
+        for flow in completed:
+            for observer in self._observers:
+                observer.on_flow_completed(flow, self.now)
         # Fire callbacks after all bookkeeping so that callbacks observe a
         # consistent network state (and may inject follow-up flows).
         for flow in finishing:

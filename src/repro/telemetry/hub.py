@@ -1,0 +1,105 @@
+"""The telemetry hub: one object owning every observability store.
+
+A :class:`TelemetryHub` is created per :class:`~repro.core.deployment.
+MccsDeployment` and threaded through the service layers — frontend,
+proxies, reconfiguration manager, transport, controller — so every
+counter increment, span, and decision event lands in the same place.
+``MccsDeployment.telemetry()`` hands it to callers; the exporters in
+:mod:`repro.telemetry.exporters` render it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .events import EventLog
+from .exporters import chrome_trace, json_snapshot, prometheus_text
+from .metrics import MetricsRegistry
+from .sampler import NetworkTelemetry
+from .spans import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netsim.engine import FlowSimulator
+
+
+class TelemetryHub:
+    """Aggregates metrics, spans, events, and network samples.
+
+    Args:
+        max_spans: Span ring-buffer capacity.
+        max_events: Decision event-log capacity.
+        sample_interval: Simulated seconds between link-utilization
+            samples once a network is attached.
+        max_samples: Per-link utilization ring-buffer capacity.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_spans: int = 8192,
+        max_events: int = 2048,
+        sample_interval: float = 0.25,
+        max_samples: int = 4096,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder(max_spans=max_spans)
+        self.events = EventLog(max_events=max_events)
+        self.network: Optional[NetworkTelemetry] = None
+        self._sample_interval = sample_interval
+        self._max_samples = max_samples
+
+    # ------------------------------------------------------------------
+    def attach_network(self, sim: "FlowSimulator") -> NetworkTelemetry:
+        """Hook the flow-level sampler into ``sim`` (idempotent)."""
+        if self.network is None:
+            self.network = NetworkTelemetry(
+                sim,
+                self.metrics,
+                sample_interval=self._sample_interval,
+                max_samples=self._max_samples,
+            )
+        return self.network
+
+    # ------------------------------------------------------------------
+    # export surface
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every metric."""
+        return prometheus_text(self.metrics)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready snapshot of metrics, spans, events, link series."""
+        return json_snapshot(self)
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """Chrome trace-event rendering of spans and decision events."""
+        return chrome_trace(self.spans, self.events)
+
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> list:
+        """Short human-readable digest (used by examples/quickstart)."""
+        lines = []
+        counters = self.metrics.counters()
+        for name in sorted(counters):
+            total = counters[name].total()
+            lines.append(f"{name} = {total:g}")
+        for name, histogram in sorted(self.metrics.histograms().items()):
+            for labels, state in histogram.samples():
+                label_text = (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                mean = state.sum / state.count if state.count else 0.0
+                lines.append(
+                    f"{name}{label_text}  count={state.count} mean={mean:.6g}s"
+                )
+        lines.append(f"spans recorded = {len(self.spans)} (evicted {self.spans.evicted})")
+        lines.append(f"decision events = {len(self.events)} (evicted {self.events.evicted})")
+        if self.network is not None:
+            lines.append(
+                "link series = "
+                f"{len(self.network.sampled_links())} links, "
+                f"{self.network.samples_taken} sampling passes"
+            )
+        return lines

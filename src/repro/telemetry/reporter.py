@@ -1,0 +1,156 @@
+"""Pluggable experiment reporter.
+
+The ``figNN`` experiment mains used to talk to the terminal with bare
+``print()``; everything now goes through a :class:`Reporter`, which
+renders tables/lines/metric summaries and writes them to a swappable
+sink.  The default sink is stdout (so the scripts look exactly as
+before); tests and batch runs install a :class:`BufferSink` and read the
+text back, and the JSON/Prometheus exporters can be attached as
+secondary destinations via :meth:`Reporter.dump_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Optional, Sequence
+
+from .metrics import Histogram
+
+
+# ----------------------------------------------------------------------
+# text rendering (shared with repro.experiments.report)
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class StdoutSink:
+    """Default sink: the terminal."""
+
+    def write_line(self, text: str) -> None:
+        print(text)
+
+
+class BufferSink:
+    """Collects lines in memory; used by tests and batch harnesses."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def write_line(self, text: str) -> None:
+        self.lines.append(text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+class StreamSink:
+    """Writes to any file-like object."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+
+    def write_line(self, text: str) -> None:
+        self.stream.write(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# reporter
+# ----------------------------------------------------------------------
+class Reporter:
+    """Renders experiment output through a pluggable sink."""
+
+    def __init__(self, sink=None) -> None:
+        self.sink = sink if sink is not None else StdoutSink()
+
+    def line(self, text: str = "") -> None:
+        self.sink.write_line(text)
+
+    def table(
+        self,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        title: Optional[str] = None,
+    ) -> None:
+        for text_line in format_table(headers, rows, title).split("\n"):
+            self.sink.write_line(text_line)
+        self.sink.write_line("")
+
+    def metrics_summary(
+        self, hub, names: Optional[Sequence[str]] = None
+    ) -> None:
+        """One line per metric: totals for counters/gauges, count+mean for
+        histograms.  ``names`` restricts (and orders) the selection."""
+        registry = hub.metrics
+        metrics = (
+            [registry.get(name) for name in names]
+            if names is not None
+            else registry.collect()
+        )
+        for metric in metrics:
+            if metric is None:
+                continue
+            if isinstance(metric, Histogram):
+                for labels, state in metric.samples():
+                    label_text = self._label_text(labels)
+                    mean = state.sum / state.count if state.count else 0.0
+                    self.sink.write_line(
+                        f"  {metric.name}{label_text}  "
+                        f"count={state.count} mean={mean:.6g}s"
+                    )
+            else:
+                for labels, value in metric.samples():
+                    label_text = self._label_text(labels)
+                    self.sink.write_line(
+                        f"  {metric.name}{label_text}  {value:g}"
+                    )
+
+    @staticmethod
+    def _label_text(labels: Dict[str, str]) -> str:
+        if not labels:
+            return ""
+        body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return "{" + body + "}"
+
+    def dump_json(self, payload: Dict[str, object], path: str) -> None:
+        """Write a JSON payload (snapshot, Chrome trace) to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        self.line(f"wrote {path}")
+
+
+# ----------------------------------------------------------------------
+# default-reporter plumbing
+# ----------------------------------------------------------------------
+_default_reporter = Reporter()
+
+
+def get_default_reporter() -> Reporter:
+    return _default_reporter
+
+
+def set_default_reporter(reporter: Reporter) -> Reporter:
+    """Install ``reporter`` as the process default; returns the previous one."""
+    global _default_reporter
+    previous = _default_reporter
+    _default_reporter = reporter
+    return previous

@@ -1,0 +1,102 @@
+"""NetworkTelemetry: flow-lifecycle metrics and link-utilization series."""
+
+import pytest
+
+from repro.netsim.engine import FlowSimulator
+from repro.netsim.topology import Topology
+from repro.telemetry import MetricsRegistry, NetworkTelemetry
+
+
+def line_topo(cap=8.0):
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_node("c")
+    topo.add_link("a", "b", cap)
+    topo.add_link("b", "c", cap)
+    return topo
+
+
+def make_telemetry(**kwargs):
+    sim = FlowSimulator(line_topo())
+    net = NetworkTelemetry(sim, MetricsRegistry(), **kwargs)
+    return sim, net
+
+
+def test_sample_interval_must_be_positive():
+    sim = FlowSimulator(line_topo())
+    with pytest.raises(ValueError):
+        NetworkTelemetry(sim, MetricsRegistry(), sample_interval=0.0)
+
+
+def test_flow_lifecycle_counters():
+    sim, net = make_telemetry()
+    sim.add_flow(8.0, ["a->b"], job_id="A")
+    sim.add_flow(16.0, ["a->b", "b->c"], job_id="B")
+    sim.run()
+    counters = net.metrics.counters()
+    assert counters["mccs_flows_total"].value(job="A") == 1
+    assert counters["mccs_flows_completed_total"].value(job="A") == 1
+    assert counters["mccs_bytes_moved_total"].value(job="A") == 8.0
+    assert counters["mccs_bytes_moved_total"].value(job="B") == 16.0
+    assert net.metrics.gauges()["mccs_active_flows"].value() == 0
+    hist = net.metrics.histograms()["mccs_flow_duration_seconds"]
+    assert hist.count(job="A") == 1
+    assert hist.count(job="B") == 1
+
+
+def test_preemptions_counted_once_per_gate_closure():
+    sim, net = make_telemetry()
+    flow = sim.add_flow(8.0, ["a->b"], job_id="A")
+    sim.gate_flow(flow, True)
+    sim.gate_flow(flow, True)  # no transition: must not double-count
+    sim.gate_flow(flow, False)
+    sim.gate_flow(flow, True)
+    sim.gate_flow(flow, False)
+    sim.run()
+    preemptions = net.metrics.counters()["mccs_flow_preemptions_total"]
+    assert preemptions.value(job="A") == 2
+
+
+def test_periodic_sampler_records_link_series_and_stops():
+    sim, net = make_telemetry(sample_interval=0.25)
+    sim.add_flow(16.0, ["a->b"], job_id="A")  # drains in 2 s at 8 B/s
+    end = sim.run()  # must terminate: the ticker is self-stopping
+    assert end == pytest.approx(2.0)
+    assert "a->b" in net.sampled_links()
+    series = net.link_series("a->b")
+    assert len(series) >= 4
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+    # The single flow saturates the link while it is active.
+    assert all(u == pytest.approx(1.0) for _, u in series)
+    assert net.link_series("missing") == []
+
+
+def test_sampler_restarts_for_later_traffic():
+    sim, net = make_telemetry(sample_interval=0.25)
+    sim.add_flow(8.0, ["a->b"])  # done at t=1
+    sim.schedule(5.0, lambda: sim.add_flow(8.0, ["b->c"]))  # t=5..6
+    sim.run()
+    assert "b->c" in net.sampled_links()
+    assert all(t >= 5.0 for t, _ in net.link_series("b->c"))
+
+
+def test_link_series_is_bounded():
+    sim, net = make_telemetry(sample_interval=0.25, max_samples=3)
+    sim.add_flow(32.0, ["a->b"])  # 4 s of traffic -> ~16 ticks
+    sim.run()
+    assert len(net.link_series("a->b")) == 3
+    assert net.evicted_samples("a->b") > 0
+    assert net.evicted_samples() >= net.evicted_samples("a->b")
+    assert net.evicted_samples("missing") == 0
+
+
+def test_sample_now_and_snapshot():
+    sim, net = make_telemetry()
+    sim.add_flow(8.0, ["a->b"], job_id="A")
+    utilization = net.sample_now()
+    assert utilization["a->b"] == pytest.approx(1.0)
+    snap = net.utilization_snapshot()
+    assert snap["a->b"]["samples"] == [[0.0, 1.0]]
+    assert snap["a->b"]["evicted"] == 0

@@ -1,0 +1,189 @@
+"""Engine-core micro-benchmarks: solver churn and event-loop throughput.
+
+Unlike the figure benchmarks, this file measures the *simulator core*
+itself — the incremental max-min solver under flow churn, and the event
+loop completing large flow populations — at the fleet scales the Figure 11
+sweep produces (§6.5 fabric, thousands of concurrent flows).
+
+Results are written to ``BENCH_netsim.json`` at the repo root so CI can
+archive the trend:
+
+* ``solver_churn``: solves/sec under add/remove churn at 1k and 10k flows,
+  plus the solver's rebuild/Δ counters;
+* ``event_loop``: completion events/sec and recompute counts at 1k and 10k
+  total flows;
+* ``fig11``: the recorded pre-optimization wall clock of the Figure 11
+  random-placement run and the wall clock measured now.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.netsim.engine import FlowSimulator
+from repro.netsim.fabric import large_cluster_fabric, nic_node
+from repro.netsim.fairness import IncrementalFairnessSolver
+from repro.netsim.flows import Flow
+
+#: Wall clock of ``run_fig11(placement="random", num_jobs=25,
+#: iterations=150, channels=4, seed=0)`` on the reference machine before
+#: the incremental engine landed (full solver rebuild + full scans).
+BASELINE_FIG11_WALL_S = 49.25
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_netsim.json"
+_RESULTS = {"solver_churn": {}, "event_loop": {}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    OUT_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+
+def _random_paths(topology, rng, count):
+    """Random inter-host NIC-to-NIC shortest paths on the §6.5 fabric."""
+    num_hosts, nics = 96, 8
+    paths = []
+    for _ in range(count):
+        src_host = rng.randrange(num_hosts)
+        dst_host = rng.randrange(num_hosts - 1)
+        if dst_host >= src_host:
+            dst_host += 1
+        src = nic_node(src_host, rng.randrange(nics))
+        dst = nic_node(dst_host, rng.randrange(nics))
+        choices = topology.shortest_paths(src, dst)
+        paths.append(choices[rng.randrange(len(choices))])
+    return paths
+
+
+@pytest.mark.parametrize("num_flows", [1_000, 10_000])
+def test_solver_churn(num_flows):
+    """Add/remove churn against a live population of ``num_flows``."""
+    fabric = large_cluster_fabric()
+    topology = fabric.topology
+    caps = {lid: link.capacity for lid, link in topology.links.items()}
+    rng = random.Random(20240805 + num_flows)
+    paths = _random_paths(topology, rng, num_flows)
+
+    solver = IncrementalFairnessSolver(caps)
+    flows = []
+    for path in paths:
+        flow = Flow(size=1e9, path=path)
+        solver.add_flow(flow)
+        flows.append(flow)
+    solver.solve()  # warm build
+
+    churn_ops = 200 if num_flows <= 1_000 else 50
+    spare = _random_paths(topology, rng, churn_ops)
+    t0 = time.perf_counter()
+    for i in range(churn_ops):
+        victim = flows[rng.randrange(len(flows))]
+        solver.remove_flow(victim)
+        fresh = Flow(size=1e9, path=spare[i])
+        solver.add_flow(fresh)
+        flows[flows.index(victim)] = fresh
+        solver.solve()
+    wall = time.perf_counter() - t0
+
+    solves_per_sec = churn_ops / wall
+    _RESULTS["solver_churn"][str(num_flows)] = {
+        "churn_ops": churn_ops,
+        "wall_s": wall,
+        "solves_per_sec": solves_per_sec,
+        "full_rebuilds": solver.full_rebuilds,
+        "delta_updates": solver.delta_updates,
+        "last_delta": solver.last_delta,
+    }
+    print(
+        f"\nsolver churn @ {num_flows} flows: "
+        f"{solves_per_sec:.1f} solves/s ({wall:.3f}s for {churn_ops} ops), "
+        f"{solver.full_rebuilds} rebuilds / {solver.delta_updates} Δ-updates"
+    )
+    # Churn must ride the Δ path: at most the initial build plus the
+    # occasional tombstone compaction, never one rebuild per op.
+    assert solver.full_rebuilds <= 1 + churn_ops // 8
+
+
+@pytest.mark.parametrize("num_flows", [1_000, 10_000])
+def test_event_loop(num_flows):
+    """Drain ``num_flows`` staggered flows through the completion loop."""
+    fabric = large_cluster_fabric()
+    sim = FlowSimulator(fabric.topology)
+    rng = random.Random(77 + num_flows)
+    paths = _random_paths(fabric.topology, rng, num_flows)
+    # Stagger arrivals into waves so the live population stays in the
+    # hundreds (the Figure 11 regime) while the loop still processes
+    # ``num_flows`` completions.  Sizes shrink with the population so the
+    # offered load (bytes/sec) stays constant and waves drain instead of
+    # piling up.
+    wave = 250
+    scale = 1e9 * (1_000 / num_flows)
+    for i, path in enumerate(paths):
+        size = (0.5 + rng.random()) * scale
+        when = (i // wave) * 0.05
+        sim.schedule(when, lambda s=size, p=path: sim.add_flow(s, p))
+
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+
+    assert sim.flows_completed == num_flows
+    events_per_sec = sim.flows_completed / wall
+    counters = sim.perf_counters()
+    _RESULTS["event_loop"][str(num_flows)] = {
+        "wall_s": wall,
+        "events_per_sec": events_per_sec,
+        **counters,
+    }
+    print(
+        f"\nevent loop @ {num_flows} flows: {events_per_sec:.1f} events/s "
+        f"({wall:.3f}s), {counters['rate_recomputations']} recomputes, "
+        f"{counters['solver_rebuilds_avoided']} rebuilds avoided"
+    )
+    assert counters["solver_rebuilds_avoided"] > 0
+
+
+def test_fig11_wall_clock(once, benchmark):
+    """The Figure 11 fleet run that motivated the incremental engine."""
+    from repro.experiments.fig11_simulation import run_fig11
+
+    t0 = time.perf_counter()
+    outcome = once(
+        benchmark,
+        run_fig11,
+        placement="random",
+        num_jobs=25,
+        iterations=150,
+        channels=4,
+        seed=0,
+    )
+    wall = time.perf_counter() - t0
+    import statistics
+
+    speedups = {
+        system: statistics.mean(outcome.speedups(system))
+        for system in ("or", "or+ffa")
+    }
+    _RESULTS["fig11"] = {
+        "config": {
+            "placement": "random",
+            "num_jobs": 25,
+            "iterations": 150,
+            "channels": 4,
+            "seed": 0,
+        },
+        "before_wall_s": BASELINE_FIG11_WALL_S,
+        "after_wall_s": wall,
+        "speedup_vs_baseline": BASELINE_FIG11_WALL_S / wall,
+        "mean_speedups": speedups,
+    }
+    print(
+        f"\nfig11 wall: {wall:.2f}s (pre-optimization {BASELINE_FIG11_WALL_S}s, "
+        f"{BASELINE_FIG11_WALL_S / wall:.2f}x)"
+    )
+    # Regression tripwire, loose enough for slow CI runners.
+    assert wall < BASELINE_FIG11_WALL_S / 1.5

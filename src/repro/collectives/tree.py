@@ -12,6 +12,7 @@ time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,16 +82,22 @@ def binary_tree(order: Sequence[int]) -> TreeSchedule:
     return TreeSchedule(tuple(parent))
 
 
+@lru_cache(maxsize=512)
+def _double_binary_trees(order: Tuple[int, ...]) -> Tuple[TreeSchedule, TreeSchedule]:
+    shifted = order[1:] + order[:1]
+    return binary_tree(order), binary_tree(shifted)
+
+
 def double_binary_trees(order: Sequence[int]) -> Tuple[TreeSchedule, TreeSchedule]:
     """Two complementary trees in the spirit of NCCL's double binary tree.
 
     The second tree is built over the rotated order, so interior nodes of
     one tree tend to be leaves of the other, balancing per-rank load when
-    each tree carries half the data.
+    each tree carries half the data.  Results are cached per ring order —
+    tree validation walks every root-to-leaf path, which is too costly to
+    repeat on every collective launch.
     """
-    order = list(order)
-    shifted = order[1:] + order[:1]
-    return binary_tree(order), binary_tree(shifted)
+    return _double_binary_trees(tuple(order))
 
 
 # ---------------------------------------------------------------------------

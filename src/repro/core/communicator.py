@@ -26,6 +26,7 @@ import numpy as np
 from ..cluster.gpu import AsyncOp, Event, GpuDevice, Stream
 from ..cluster.specs import Cluster
 from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
+from ..collectives.programs import FlowProgramCache
 from ..collectives.ring import RingSchedule  # noqa: F401  (re-export for tests)
 from ..collectives.types import Collective, ReduceOp, validate_world
 from ..netsim.errors import ReconfigurationError
@@ -271,7 +272,11 @@ class CollectiveInstance:
                     rec.start_time = comm.sim.now
         table, selector = comm.datapath.table_for(strategy, comm.gpus)
         algorithm = get_algorithm(strategy.algorithm)
-        transfers = algorithm.rank_transfers(self._context(strategy, rank))
+        program_key = (strategy, self.kind, self.out_bytes, self.root, rank)
+        transfers = comm.program_cache.get(
+            program_key,
+            lambda: tuple(algorithm.rank_transfers(self._context(strategy, rank))),
+        )
         injected_any = False
         src = comm.gpus[rank]
         for transfer in transfers:
@@ -411,6 +416,10 @@ class ServiceCommunicator:
         self.trace_record = True
         self.telemetry = telemetry
         self.destroyed = False
+        #: Compiled per-rank transfer lists, keyed by everything they
+        #: depend on (strategy incl. ring order/channels/route-ids, kind,
+        #: sizes, root, rank); traffic loops reissue identical collectives.
+        self.program_cache = FlowProgramCache()
 
     # ------------------------------------------------------------------
     def commit_strategy(self, strategy: CollectiveStrategy) -> None:

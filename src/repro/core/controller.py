@@ -295,7 +295,7 @@ class CentralManager:
             for channel in range(comm.strategy.channels):
                 src_nic = self.cluster.nic_of_channel(src, channel)
                 dst_nic = self.cluster.nic_of_channel(dst, channel)
-                paths = self.cluster.topology.equal_cost_paths(src_nic, dst_nic)
+                paths = self.cluster.topology.shortest_paths(src_nic, dst_nic)
                 # Score the least-loaded route; with route control MCCS
                 # would pin the connection there.
                 total += min(

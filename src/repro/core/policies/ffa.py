@@ -60,7 +60,7 @@ def collect_demands(
         for channel in range(strategy.channels):
             src_nic = cluster.nic_of_channel(src, channel)
             dst_nic = cluster.nic_of_channel(dst, channel)
-            paths = cluster.topology.equal_cost_paths(src_nic, dst_nic)
+            paths = cluster.topology.shortest_paths(src_nic, dst_nic)
             nic_cap = min(
                 cluster.topology.capacity_of(paths[0][0]),
                 cluster.topology.capacity_of(paths[0][-1]),
@@ -93,15 +93,19 @@ class _LinkLoadTracker:
 
     def utilization_after(self, path: Sequence[str], demand: float) -> float:
         """Highest link utilization on ``path`` if ``demand`` is added."""
+        load = self._load
+        cap = self._cap
         worst = 0.0
         for link in path:
-            u = (self._load.get(link, 0.0) + demand) / self._cap[link]
-            worst = max(worst, u)
+            u = (load.get(link, 0.0) + demand) / cap[link]
+            if u > worst:
+                worst = u
         return worst
 
     def place(self, path: Sequence[str], demand: float) -> None:
+        load = self._load
         for link in path:
-            self._load[link] = self._load.get(link, 0.0) + demand
+            load[link] = load.get(link, 0.0) + demand
 
 
 def _best_fit(

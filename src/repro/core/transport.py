@@ -146,7 +146,10 @@ class TrafficGateManager:
     # -- internals ---------------------------------------------------------
     def _flows_of(self, app_id: str) -> List[Flow]:
         flows = self._live.get(app_id, set())
-        stale = {f for f in flows if f.completed}
+        # Completed *or cancelled* flows are stale: a cancelled flow never
+        # sets ``completed``, so ask the simulator whether it still exists
+        # rather than leaking it (and re-gating it) forever.
+        stale = {f for f in flows if f.completed or not self._sim.has_flow(f)}
         flows -= stale
         return list(flows)
 

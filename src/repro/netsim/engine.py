@@ -10,6 +10,21 @@ The engine advances a single simulated clock over two kinds of occurrences:
 Everything above the network (GPU streams, the MCCS engines, the traffic
 generator) is driven by callbacks on this clock, so the whole reproduction
 shares one coherent notion of time.
+
+Two execution modes share one public API:
+
+* **incremental** (default) — a persistent
+  :class:`~repro.netsim.fairness.IncrementalFairnessSolver` absorbs flow
+  churn in O(Δ), completions come from a heap of ETAs under a
+  *virtual-byte clock* (each flow's ``remaining`` is exact as of
+  ``flow._synced_at`` and derived lazily as
+  ``remaining - rate * (now - _synced_at)`` until its rate changes), and
+  heap entries are invalidated by bumping ``flow._heap_epoch`` whenever a
+  rate moves.  Per event the loop touches only the flows whose allocation
+  actually changed.
+* **legacy** (``incremental=False``) — the original per-event full rebuild
+  and full scans, kept as the reference implementation for the
+  old-vs-new determinism tests.
 """
 
 from __future__ import annotations
@@ -20,7 +35,7 @@ import math
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import SimulationError
-from .fairness import FairnessSolver
+from .fairness import FairnessSolver, IncrementalFairnessSolver, link_loads
 from .flows import Flow
 from .topology import Topology
 
@@ -28,6 +43,10 @@ from .topology import Topology
 _BYTE_EPS = 1e-6
 # Two timestamps closer than this are treated as simultaneous.
 _TIME_EPS = 1e-12
+
+#: Default engine mode; tests flip this (or pass ``incremental=False``) to
+#: compare the heap/Δ-update core against the legacy full-scan core.
+DEFAULT_INCREMENTAL = True
 
 EventCallback = Callable[[], None]
 
@@ -47,6 +66,9 @@ class SimObserver:
         pass
 
     def on_flow_completed(self, flow: Flow, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_flow_cancelled(self, flow: Flow, now: float) -> None:  # pragma: no cover
         pass
 
     def on_flow_gated(self, flow: Flow, gated: bool, now: float) -> None:  # pragma: no cover
@@ -69,6 +91,7 @@ class FlowSimulator:
         topology: Topology,
         start_time: float = 0.0,
         interference_penalty: float = 0.0,
+        incremental: Optional[bool] = None,
     ) -> None:
         """Args:
             topology: The network graph.
@@ -81,6 +104,9 @@ class FlowSimulator:
                 carrying active flows of two or more distinct jobs has its
                 effective capacity scaled by ``1 - interference_penalty``.
                 0 (default) is the paper's §6.5 per-flow-fairness model.
+            incremental: Engine mode; ``None`` uses the module default
+                (:data:`DEFAULT_INCREMENTAL`).  ``False`` selects the
+                legacy full-rebuild/full-scan core.
         """
         if not 0.0 <= interference_penalty < 1.0:
             raise ValueError("interference_penalty must be in [0, 1)")
@@ -94,10 +120,27 @@ class FlowSimulator:
         self._events: List[Tuple[float, int, EventCallback]] = []
         self._event_seq = itertools.count()
         self._dirty = True
-        self._solver: Optional[FairnessSolver] = None
         self._observers: List[SimObserver] = []
         self.flows_completed = 0
         self.rate_recomputations = 0
+        # incremental-mode state
+        if incremental is None:
+            incremental = DEFAULT_INCREMENTAL
+        self._inc: Optional[IncrementalFairnessSolver] = (
+            IncrementalFairnessSolver(self._capacities) if incremental else None
+        )
+        # (eta, seq, epoch, flow); entries whose epoch no longer matches
+        # flow._heap_epoch are stale and dropped lazily on pop.
+        self._heap: List[Tuple[float, int, int, Flow]] = []
+        self._heap_seq = itertools.count()
+        self.heap_pushes = 0
+        self.heap_invalidations = 0
+        self.stale_heap_pops = 0
+
+    @property
+    def incremental(self) -> bool:
+        """True when the Δ-update/heap core is in use."""
+        return self._inc is not None
 
     # ------------------------------------------------------------------
     # observers
@@ -135,7 +178,10 @@ class FlowSimulator:
             tags=dict(tags or {}),
         )
         flow.start_time = self.now
+        flow._synced_at = self.now
         self._active[flow.flow_id] = flow
+        if self._inc is not None:
+            self._inc.add_flow(flow)
         self._dirty = True
         for observer in self._observers:
             observer.on_flow_added(flow, self.now)
@@ -145,11 +191,24 @@ class FlowSimulator:
         """Remove an in-flight flow without firing its completion callback.
 
         Used to stop background flows and to tear down connections during
-        reconfiguration.
+        reconfiguration.  Observers receive ``on_flow_cancelled`` so
+        lifecycle trackers do not leak an in-flight entry.
         """
-        if flow.flow_id in self._active:
-            del self._active[flow.flow_id]
-            self._dirty = True
+        if flow.flow_id not in self._active:
+            return
+        if self._inc is not None:
+            self._settle(flow)
+            self._inc.remove_flow(flow)
+            flow._heap_epoch += 1
+            self.heap_invalidations += 1
+        del self._active[flow.flow_id]
+        self._dirty = True
+        for observer in self._observers:
+            observer.on_flow_cancelled(flow, self.now)
+
+    def has_flow(self, flow: Flow) -> bool:
+        """True while ``flow`` is still in the network (not done/cancelled)."""
+        return flow.flow_id in self._active
 
     def gate_flow(self, flow: Flow, gated: bool) -> None:
         """Pause (``gated=True``) or resume a flow.
@@ -159,7 +218,11 @@ class FlowSimulator:
         while a prioritized tenant is busy.
         """
         if flow.gated != gated:
+            if self._inc is not None:
+                self._settle(flow)
             flow.gated = gated
+            if self._inc is not None:
+                self._inc.set_active(flow, flow.active)
             self._dirty = True
             for observer in self._observers:
                 observer.on_flow_gated(flow, gated, self.now)
@@ -167,6 +230,10 @@ class FlowSimulator:
     def active_flows(self) -> List[Flow]:
         """All flows currently in the network (including gated ones)."""
         return list(self._active.values())
+
+    def active_flow_count(self) -> int:
+        """Number of flows in the network, without materializing the list."""
+        return len(self._active)
 
     def rate_of(self, flow: Flow) -> float:
         """Current allocated rate of ``flow`` in bytes/s."""
@@ -180,6 +247,8 @@ class FlowSimulator:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacities[link_id] = capacity
+        if self._inc is not None:
+            self._inc.set_capacity(link_id, capacity)
         self._dirty = True
 
     def link_capacity(self, link_id: str) -> float:
@@ -193,17 +262,45 @@ class FlowSimulator:
         links at or above ``min_utilization`` are reported.
         """
         self._ensure_rates()
-        loads: Dict[str, float] = {}
-        for flow in self._active.values():
-            if flow.rate <= 0:
-                continue
-            for link in set(flow.path):
-                loads[link] = loads.get(link, 0.0) + flow.rate
+        if self._inc is not None:
+            return self._inc.link_utilization(min_utilization)
+        loads = link_loads(self.active_flows())
         return {
             link: load / self._capacities[link]
             for link, load in loads.items()
             if load / self._capacities[link] >= min_utilization
         }
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Engine-core performance counters for telemetry and benchmarks.
+
+        ``solver_rebuilds_avoided`` counts recomputations that reused the
+        persistent incidence structure instead of rebuilding it;
+        ``solver_full_rebuilds`` counts the structure (re)builds that did
+        happen (initial build plus tombstone compactions).
+        """
+        counters: Dict[str, int] = {
+            "rate_recomputations": self.rate_recomputations,
+            "flows_completed": self.flows_completed,
+            "heap_pushes": self.heap_pushes,
+            "heap_invalidations": self.heap_invalidations,
+            "stale_heap_pops": self.stale_heap_pops,
+        }
+        if self._inc is not None:
+            counters["solver_full_rebuilds"] = self._inc.full_rebuilds
+            counters["solver_delta_updates"] = self._inc.delta_updates
+            counters["solver_rebuilds_avoided"] = max(
+                self.rate_recomputations - self._inc.full_rebuilds, 0
+            )
+            counters["solver_last_delta"] = self._inc.last_delta
+            counters["solver_delta_total"] = self._inc.delta_flows_total
+        else:
+            counters["solver_full_rebuilds"] = self.rate_recomputations
+            counters["solver_delta_updates"] = 0
+            counters["solver_rebuilds_avoided"] = 0
+            counters["solver_last_delta"] = 0
+            counters["solver_delta_total"] = 0
+        return counters
 
     # ------------------------------------------------------------------
     # event management
@@ -263,6 +360,35 @@ class FlowSimulator:
         Returns:
             The clock value when the loop stopped.
         """
+        if self._inc is None:
+            return self._run_legacy(until)
+        try:
+            return self._run_incremental(until)
+        finally:
+            # Materialize every in-flight flow's lazy progress so callers
+            # observe exact ``remaining`` values between run() calls.
+            self._settle_all()
+
+    def _run_incremental(self, until: Optional[float]) -> float:
+        while True:
+            self._ensure_rates()
+            next_completion = self._peek_completion()
+            next_event = self._events[0][0] if self._events else math.inf
+            t = min(next_completion, next_event)
+            if math.isinf(t):
+                if until is not None and until > self.now:
+                    self._advance_clock(until)
+                self._check_quiescent()
+                return self.now
+            if until is not None and t > until:
+                self._advance_clock(max(until, self.now))
+                return self.now
+            self._advance_clock(t)
+            if next_completion <= next_event + _TIME_EPS:
+                self._complete_flows(self._collect_finishing(next_completion))
+            self._fire_due_events()
+
+    def _run_legacy(self, until: Optional[float]) -> float:
         while True:
             self._ensure_rates()
             next_completion, finishing = self._next_completion()
@@ -282,20 +408,153 @@ class FlowSimulator:
             self._fire_due_events()
 
     # ------------------------------------------------------------------
-    # internals
+    # internals — shared
     # ------------------------------------------------------------------
     def _ensure_rates(self) -> None:
         if not self._dirty:
             return
+        if self._inc is not None:
+            self._recompute_incremental()
+        else:
+            self._recompute_legacy()
+        self._dirty = False
+        self.rate_recomputations += 1
+        for observer in self._observers:
+            observer.on_rates_recomputed(self.now)
+
+    def _complete_flows(self, finishing: List[Flow]) -> None:
+        completed: List[Flow] = []
+        for flow in finishing:
+            if flow.flow_id not in self._active:
+                continue
+            flow.remaining = 0.0
+            flow._synced_at = self.now
+            flow.end_time = self.now
+            del self._active[flow.flow_id]
+            if self._inc is not None:
+                self._inc.remove_flow(flow)
+                flow._heap_epoch += 1
+            self.flows_completed += 1
+            self._dirty = True
+            completed.append(flow)
+        for flow in completed:
+            for observer in self._observers:
+                observer.on_flow_completed(flow, self.now)
+        # Fire callbacks after all bookkeeping so that callbacks observe a
+        # consistent network state (and may inject follow-up flows).
+        for flow in completed:
+            if flow.on_complete is not None:
+                flow.on_complete(flow, self.now)
+
+    def _fire_due_events(self) -> None:
+        while self._events and self._events[0][0] <= self.now + _TIME_EPS:
+            _, _, callback = heapq.heappop(self._events)
+            callback()
+
+    def _check_quiescent(self) -> None:
+        stuck = [
+            f
+            for f in self._active.values()
+            if f.active and f.rate <= 0 and f.remaining > _BYTE_EPS
+        ]
+        if stuck:
+            raise SimulationError(
+                "simulation stalled with active zero-rate flows: "
+                + ", ".join(f.flow_id for f in stuck[:5])
+            )
+
+    # ------------------------------------------------------------------
+    # internals — incremental core
+    # ------------------------------------------------------------------
+    def _settle(self, flow: Flow) -> None:
+        """Materialize ``flow.remaining`` at the current clock value."""
+        if flow._synced_at < self.now:
+            # ``flow.active`` inlined: this and the other hot-loop sites
+            # below account for hundreds of thousands of property calls
+            # per large run.
+            if flow.end_time is None and not flow.gated and flow.rate > 0:
+                flow.remaining = max(
+                    flow.remaining - flow.rate * (self.now - flow._synced_at), 0.0
+                )
+            flow._synced_at = self.now
+
+    def _settle_all(self) -> None:
+        for flow in self._active.values():
+            self._settle(flow)
+
+    def _recompute_incremental(self) -> None:
+        assert self._inc is not None
+        caps = None
+        if self.interference_penalty > 0:
+            caps = self._inc.scaled_caps(self.interference_penalty)
+        changed, rates = self._inc.solve(caps)
+        for slot in changed:
+            flow = self._inc.flow_at(int(slot))
+            if flow is None:
+                continue
+            # Settle under the *old* rate before installing the new one,
+            # then re-anchor the ETA; the stale heap entry dies via epoch.
+            self._settle(flow)
+            flow.rate = float(rates[slot])
+            flow._heap_epoch += 1
+            self.heap_invalidations += 1
+            if flow.end_time is None and not flow.gated and flow.rate > 0:
+                eta = self.now + flow.remaining / flow.rate
+                heapq.heappush(
+                    self._heap,
+                    (eta, next(self._heap_seq), flow._heap_epoch, flow),
+                )
+                self.heap_pushes += 1
+
+    def _heap_entry_live(self, entry: Tuple[float, int, int, Flow]) -> bool:
+        _, _, epoch, flow = entry
+        return (
+            flow._heap_epoch == epoch
+            and flow.end_time is None
+            and not flow.gated
+            and flow.flow_id in self._active
+        )
+
+    def _peek_completion(self) -> float:
+        """Earliest valid completion ETA, dropping stale heap entries."""
+        while self._heap:
+            if self._heap_entry_live(self._heap[0]):
+                return self._heap[0][0]
+            heapq.heappop(self._heap)
+            self.stale_heap_pops += 1
+        return math.inf
+
+    def _collect_finishing(self, t: float) -> List[Flow]:
+        """Pop every flow whose valid ETA falls within ``t`` (+epsilon)."""
+        finishing: List[Flow] = []
+        while self._heap:
+            entry = self._heap[0]
+            if not self._heap_entry_live(entry):
+                heapq.heappop(self._heap)
+                self.stale_heap_pops += 1
+                continue
+            if entry[0] <= t + _TIME_EPS:
+                heapq.heappop(self._heap)
+                finishing.append(entry[3])
+                continue
+            break
+        return finishing
+
+    def _advance_clock(self, t: float) -> None:
+        """O(1) clock advance: flow progress stays lazy (virtual bytes)."""
+        if t < self.now - _TIME_EPS:
+            raise SimulationError(f"time went backwards: {t} < {self.now}")
+        self.now = max(t, self.now)
+
+    # ------------------------------------------------------------------
+    # internals — legacy core (reference implementation)
+    # ------------------------------------------------------------------
+    def _recompute_legacy(self) -> None:
         flows = list(self._active.values())
         solver = FairnessSolver(flows, self._effective_capacities(flows))
         rates = solver.solve()
         for flow in flows:
             flow.rate = rates[flow.flow_id]
-        self._dirty = False
-        self.rate_recomputations += 1
-        for observer in self._observers:
-            observer.on_rates_recomputed(self.now)
 
     def _effective_capacities(self, flows: List[Flow]) -> Dict[str, float]:
         """Per-recompute capacities, with the interference model applied.
@@ -309,7 +568,7 @@ class FlowSimulator:
         for flow in flows:
             if not flow.active:
                 continue
-            for link in set(flow.path):
+            for link in flow.links:
                 jobs_on_link.setdefault(link, set()).add(flow.job_id)
         scale = 1.0 - self.interference_penalty
         capacities = dict(self._capacities)
@@ -347,40 +606,3 @@ class FlowSimulator:
                 if flow.active and flow.rate > 0:
                     flow.remaining = max(flow.remaining - flow.rate * dt, 0.0)
         self.now = t
-
-    def _complete_flows(self, finishing: List[Flow]) -> None:
-        completed: List[Flow] = []
-        for flow in finishing:
-            if flow.flow_id not in self._active:
-                continue
-            flow.remaining = 0.0
-            flow.end_time = self.now
-            del self._active[flow.flow_id]
-            self.flows_completed += 1
-            self._dirty = True
-            completed.append(flow)
-        for flow in completed:
-            for observer in self._observers:
-                observer.on_flow_completed(flow, self.now)
-        # Fire callbacks after all bookkeeping so that callbacks observe a
-        # consistent network state (and may inject follow-up flows).
-        for flow in finishing:
-            if flow.on_complete is not None:
-                flow.on_complete(flow, self.now)
-
-    def _fire_due_events(self) -> None:
-        while self._events and self._events[0][0] <= self.now + _TIME_EPS:
-            _, _, callback = heapq.heappop(self._events)
-            callback()
-
-    def _check_quiescent(self) -> None:
-        stuck = [
-            f
-            for f in self._active.values()
-            if f.active and f.rate <= 0 and f.remaining > _BYTE_EPS
-        ]
-        if stuck:
-            raise SimulationError(
-                "simulation stalled with active zero-rate flows: "
-                + ", ".join(f.flow_id for f in stuck[:5])
-            )

@@ -39,6 +39,9 @@ class Flow:
         end_time: Completion time, or None while in flight.
         on_complete: Callback ``fn(flow, now)`` fired at completion.
         tags: Free-form metadata (communicator id, channel index, ...).
+        links: The distinct links of ``path`` (order-stable); cached once
+            so the fairness allocator and utilization aggregation never
+            rebuild a ``set(flow.path)`` on the hot path.
     """
 
     size: float
@@ -53,6 +56,14 @@ class Flow:
     end_time: Optional[float] = field(init=False, default=None)
     on_complete: Optional[Callable[["Flow", float], None]] = None
     tags: Dict[str, object] = field(default_factory=dict)
+    links: Tuple[str, ...] = field(init=False, repr=False)
+    #: Engine-managed anchor of the lazy progress clock: ``remaining`` is
+    #: exact as of this simulation time; between rate changes the engine
+    #: derives progress as ``remaining - rate * (now - _synced_at)``.
+    _synced_at: float = field(init=False, default=0.0, repr=False)
+    #: Engine-managed heap-entry generation; bumping it invalidates any
+    #: completion-time heap entry pushed for this flow.
+    _heap_epoch: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -62,6 +73,7 @@ class Flow:
         if self.weight <= 0:
             raise ValueError("flow weight must be positive")
         self.path = tuple(self.path)
+        self.links = tuple(dict.fromkeys(self.path))
         self.remaining = float(self.size)
 
     @property

@@ -58,8 +58,8 @@ class EcmpSelector(PathSelector):
         self.seed = seed
 
     def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
-        paths = topology.equal_cost_paths(key[0], key[1])
-        return paths[ecmp_hash(key, len(paths), self.seed)]
+        paths = topology.shortest_paths(key[0], key[1])
+        return list(paths[ecmp_hash(key, len(paths), self.seed)])
 
 
 @dataclass
@@ -109,16 +109,18 @@ class RouteIdSelector(PathSelector):
         self._fallback = EcmpSelector(fallback_seed)
 
     def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
-        paths = topology.equal_cost_paths(key[0], key[1])
+        paths = topology.shortest_paths(key[0], key[1])
         route_id = self.route_map.route_id(key)
         if route_id is None:
-            return self._fallback.select(topology, key)
-        if route_id >= len(paths):
+            # Inline ECMP over the already-enumerated paths; delegating to
+            # the fallback selector would enumerate them a second time.
+            route_id = ecmp_hash(key, len(paths), self._fallback.seed)
+        elif route_id >= len(paths):
             raise NoPathError(
                 f"route id {route_id} out of range for {key[0]}->{key[1]} "
                 f"({len(paths)} paths)"
             )
-        return paths[route_id]
+        return list(paths[route_id])
 
 
 class RandomSelector(PathSelector):
@@ -128,5 +130,5 @@ class RandomSelector(PathSelector):
         self._rng = random.Random(seed)
 
     def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
-        paths = topology.equal_cost_paths(key[0], key[1])
-        return self._rng.choice(paths)
+        paths = topology.shortest_paths(key[0], key[1])
+        return list(self._rng.choice(paths))

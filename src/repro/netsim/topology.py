@@ -65,7 +65,16 @@ class Topology:
         self._links: Dict[str, Link] = {}
         # adjacency: src -> list of links out of src
         self._out: Dict[str, List[Link]] = {}
-        self._path_cache: Dict[Tuple[str, str], List[List[str]]] = {}
+        self._path_cache: Dict[Tuple[str, str], Tuple[Tuple[str, ...], ...]] = {}
+        # Integer-indexed adjacency (node index -> [(dst index, link id)]),
+        # built lazily; BFS over it avoids per-edge attribute lookups.
+        self._compact: Optional[
+            Tuple[Dict[str, int], List[List[Tuple[int, str]]]]
+        ] = None
+        # per-source shortest-path DAG state, resumable level by level:
+        # src index -> {"dist": [...], "preds": [[(pred index, link id)]],
+        # "frontier": [...]} — one (partial) BFS serves every destination.
+        self._sssp_cache: Dict[int, Dict[str, list]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -77,7 +86,12 @@ class Topology:
         node = Node(node_id, kind, dict(attrs))
         self._nodes[node_id] = node
         self._out[node_id] = []
-        self._path_cache.clear()
+        # Replace (don't clear): the caches may be shared with structurally
+        # identical topologies via adopt_path_cache, and this mutation
+        # makes us diverge from them.
+        self._path_cache = {}
+        self._sssp_cache = {}
+        self._compact = None
         return node
 
     def add_link(
@@ -106,7 +120,9 @@ class Topology:
         link = Link(link_id, src, dst, capacity)
         self._links[link_id] = link
         self._out[src].append(link)
-        self._path_cache.clear()
+        self._path_cache = {}
+        self._sssp_cache = {}
+        self._compact = None
         return link
 
     def add_duplex_link(
@@ -151,59 +167,140 @@ class Topology:
     def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
         """Return all minimum-hop paths from ``src`` to ``dst``.
 
-        Each path is a list of *link ids*.  Results are cached; the cache is
-        invalidated whenever the graph changes.  Raises
-        :class:`NoPathError` when ``dst`` is unreachable.
+        Each path is a fresh list of *link ids* the caller may mutate.
+        Results are cached; the cache is invalidated whenever the graph
+        changes.  Raises :class:`NoPathError` when ``dst`` is unreachable.
+        Hot-path consumers that only read should prefer
+        :meth:`shortest_paths`, which skips the per-call copies.
+        """
+        return [list(path) for path in self.shortest_paths(src, dst)]
+
+    def shortest_paths(self, src: str, dst: str) -> Tuple[Tuple[str, ...], ...]:
+        """All minimum-hop paths as an immutable (shared, cached) tuple.
+
+        This is the zero-copy variant of :meth:`equal_cost_paths` used by
+        the path selectors on the connection-establishment hot path.
         """
         self.node(src)
         self.node(dst)
         key = (src, dst)
-        if key in self._path_cache:
-            return [list(path) for path in self._path_cache[key]]
+        hit = self._path_cache.get(key)
+        if hit is not None:
+            return hit
         paths = self._enumerate_shortest(src, dst)
         if not paths:
             raise NoPathError(f"no path from {src!r} to {dst!r}")
         self._path_cache[key] = paths
-        return [list(path) for path in paths]
+        return paths
 
-    def _enumerate_shortest(self, src: str, dst: str) -> List[List[str]]:
-        """BFS that records every minimum-hop link sequence."""
-        if src == dst:
-            return [[]]
-        # Standard BFS computing hop distance, then a backward walk
-        # collecting all predecessor links that lie on a shortest path.
-        dist = {src: 0}
-        frontier = [src]
-        preds: Dict[str, List[Link]] = {}
-        while frontier and dst not in dist:
-            nxt: List[str] = []
+    def _compact_graph(self) -> Tuple[Dict[str, int], List[List[Tuple[int, str]]]]:
+        """Integer-indexed adjacency, (re)built lazily after graph changes."""
+        if self._compact is None:
+            index = {node_id: i for i, node_id in enumerate(self._nodes)}
+            adj: List[List[Tuple[int, str]]] = [[] for _ in index]
+            for src, links in self._out.items():
+                adj[index[src]] = [
+                    (index[link.dst], link.link_id) for link in links
+                ]
+            self._compact = (index, adj)
+        return self._compact
+
+    def _sssp(self, src_i: int, dst_i: int, adj: List[List[Tuple[int, str]]]) -> Dict[str, list]:
+        """Resumable BFS shortest-path DAG from node index ``src_i``.
+
+        The BFS expands level by level only until ``dst_i`` is reached;
+        the frontier is saved so a later, more distant destination resumes
+        where this one stopped.  One (partial) BFS per source is amortized
+        over all destinations asked about — a Clos fabric asks about many
+        NIC pairs per source — replacing the former per-(src, dst) BFS.
+        """
+        state = self._sssp_cache.get(src_i)
+        if state is None:
+            dist = [-1] * len(adj)
+            dist[src_i] = 0
+            # preds is a dict populated only for reached nodes — allocating
+            # a list per node up front dominated the profile on the 1000+
+            # node Clos fabric.
+            state = {"dist": dist, "preds": {}, "frontier": [src_i]}
+            self._sssp_cache[src_i] = state
+        dist = state["dist"]
+        preds = state["preds"]
+        frontier = state["frontier"]
+        while frontier and dist[dst_i] == -1:
+            nxt: List[int] = []
             for node in frontier:
-                for link in self._out[node]:
-                    if link.dst not in dist:
-                        preds.setdefault(link.dst, []).append(link)
-                        dist[link.dst] = dist[node] + 1
-                        nxt.append(link.dst)
-                    elif dist[link.dst] == dist[node] + 1:
-                        preds.setdefault(link.dst, []).append(link)
+                d = dist[node] + 1
+                for nbr, link_id in adj[node]:
+                    seen = dist[nbr]
+                    if seen == -1:
+                        dist[nbr] = d
+                        preds[nbr] = [(node, link_id)]
+                        nxt.append(nbr)
+                    elif seen == d:
+                        preds[nbr].append((node, link_id))
             frontier = nxt
-        if dst not in dist:
-            return []
+        state["frontier"] = frontier
+        return state
+
+    def _enumerate_shortest(self, src: str, dst: str) -> Tuple[Tuple[str, ...], ...]:
+        """Every minimum-hop link sequence, via the shortest-path DAG."""
+        if src == dst:
+            return ((),)
+        index, adj = self._compact_graph()
+        src_i, dst_i = index[src], index[dst]
+        state = self._sssp(src_i, dst_i, adj)
+        dist = state["dist"]
+        preds = state["preds"]
+        if dist[dst_i] == -1:
+            return ()
 
         paths: List[List[str]] = []
 
-        def walk(node: str, suffix: List[str]) -> None:
-            if node == src:
+        def walk(node: int, suffix: List[str]) -> None:
+            if node == src_i:
                 paths.append(list(reversed(suffix)))
                 return
-            for link in preds.get(node, ()):
-                if dist[link.src] == dist[node] - 1:
-                    suffix.append(link.link_id)
-                    walk(link.src, suffix)
+            target = dist[node] - 1
+            for pred, link_id in preds.get(node, ()):
+                if dist[pred] == target:
+                    suffix.append(link_id)
+                    walk(pred, suffix)
                     suffix.pop()
 
-        walk(dst, [])
+        walk(dst_i, [])
         paths.sort()
-        return paths
+        return tuple(tuple(path) for path in paths)
+
+    def adopt_path_cache(self, other: "Topology") -> None:
+        """Share the shortest-path caches of a structurally identical topology.
+
+        Experiments rebuild the same fabric for every solution/seed replay;
+        path enumeration depends only on the graph structure, so a fresh
+        build can inherit the work instead of re-running BFS per NIC pair.
+        The enumerated-path cache and the per-source BFS DAG state both
+        become *shared* (either topology keeps warming them); a later
+        structural mutation of one side detaches it from the shared dicts.
+        Node insertion order must match too, because the BFS state is keyed
+        by compact integer node indices.  Raises ``ValueError`` when the
+        graphs differ.
+        """
+        same = (
+            list(self._nodes) == list(other._nodes)
+            and list(self._links) == list(other._links)
+            and all(
+                (link.src, link.dst) == (o.src, o.dst)
+                for link_id, link in self._links.items()
+                for o in (other._links[link_id],)
+            )
+        )
+        if not same:
+            raise ValueError("topologies differ structurally; cannot adopt paths")
+        other._path_cache.update(self._path_cache)
+        self._path_cache = other._path_cache
+        other._sssp_cache.update(self._sssp_cache)
+        self._sssp_cache = other._sssp_cache
+        if other._compact is not None:
+            self._compact = other._compact
 
     def path_nodes(self, path: Sequence[str]) -> List[str]:
         """Expand a link-id path into the node sequence it traverses."""

@@ -102,4 +102,6 @@ class TelemetryHub:
                 f"{len(self.network.sampled_links())} links, "
                 f"{self.network.samples_taken} sampling passes"
             )
+            for name, value in sorted(self.network.publish_perf_counters().items()):
+                lines.append(f"netsim.{name} = {value}")
         return lines

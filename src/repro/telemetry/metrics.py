@@ -39,6 +39,12 @@ WALL_CLOCK_BUCKETS: Tuple[float, ...] = (
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
+    # Hot path: flow lifecycle counters carry zero or one label.
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((k, v),) = labels.items()
+        return ((k, str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 

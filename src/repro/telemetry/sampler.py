@@ -64,6 +64,10 @@ class NetworkTelemetry(SimObserver):
         self._flows_completed = metrics.counter(
             "mccs_flows_completed_total", "Flows drained to completion, by job."
         )
+        self._flows_cancelled = metrics.counter(
+            "mccs_flows_cancelled_total",
+            "Flows torn down before completing (reconfig, background stop).",
+        )
         self._bytes_total = metrics.counter(
             "mccs_bytes_moved_total", "Bytes fully delivered, by job."
         )
@@ -86,7 +90,7 @@ class NetworkTelemetry(SimObserver):
     # ------------------------------------------------------------------
     def on_flow_added(self, flow: Flow, now: float) -> None:
         self._flows_total.inc(job=flow.job_id or "none")
-        self._active_flows.set(len(self.sim.active_flows()))
+        self._active_flows.set(self.sim.active_flow_count())
         self._start_ticker()
 
     def on_flow_completed(self, flow: Flow, now: float) -> None:
@@ -94,7 +98,11 @@ class NetworkTelemetry(SimObserver):
         self._flows_completed.inc(job=job)
         self._bytes_total.inc(flow.size, job=job)
         self._flow_duration.observe(now - flow.start_time, job=job)
-        self._active_flows.set(len(self.sim.active_flows()))
+        self._active_flows.set(self.sim.active_flow_count())
+
+    def on_flow_cancelled(self, flow: Flow, now: float) -> None:
+        self._flows_cancelled.inc(job=flow.job_id or "none")
+        self._active_flows.set(self.sim.active_flow_count())
 
     def on_flow_gated(self, flow: Flow, gated: bool, now: float) -> None:
         if gated:
@@ -131,6 +139,25 @@ class NetworkTelemetry(SimObserver):
             series.append((now, value))
         self.samples_taken += 1
         return utilization
+
+    # ------------------------------------------------------------------
+    # engine-core performance counters
+    # ------------------------------------------------------------------
+    def publish_perf_counters(self) -> Dict[str, int]:
+        """Copy the engine's :meth:`FlowSimulator.perf_counters` into gauges.
+
+        Called on demand (summary/export time) rather than per sample so the
+        hot sampling path stays cheap.  Gauge names are the counter names
+        under the ``mccs_netsim_`` prefix, e.g.
+        ``mccs_netsim_solver_rebuilds_avoided``.
+        """
+        counters = self.sim.perf_counters()
+        for name, value in counters.items():
+            self.metrics.gauge(
+                f"mccs_netsim_{name}",
+                "Flow-simulator engine-core performance counter.",
+            ).set(value)
+        return counters
 
     # ------------------------------------------------------------------
     # queries

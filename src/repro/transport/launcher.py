@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 from ..cluster.gpu import GpuDevice
 from ..cluster.specs import Cluster
 from ..collectives.cost_model import LatencyModel
+from ..collectives.programs import FlowProgramCache, ProgramTransfer
 from ..collectives.ring import RingSchedule, edge_traffic, steps_for
 from ..collectives.tree import (
     TreeSchedule,
@@ -81,6 +82,10 @@ class FlowTransport:
         self.latency = latency
         self.gate = gate
         self.launches: List[LaunchHandle] = []
+        # Rank-level transfer programs: identical (kind, size, schedule,
+        # channels, root) launches — the common traffic-loop case — reuse
+        # the compiled list and only rebind GPUs.
+        self.program_cache = FlowProgramCache()
 
     # ------------------------------------------------------------------
     def launch_ring(
@@ -103,17 +108,26 @@ class FlowTransport:
         world = schedule.world
         if len(gpus_by_rank) != world:
             raise ValueError("gpus_by_rank must cover every rank")
-        root_position = schedule.position_of(root)
-        per_channel = out_bytes / channels
-        transfers: List[Tuple[GpuDevice, GpuDevice, int, float]] = []
-        for channel in range(channels):
+
+        def compile_ring() -> Tuple[ProgramTransfer, ...]:
+            root_position = schedule.position_of(root)
+            per_channel = out_bytes / channels
             per_edge = edge_traffic(kind, per_channel, world, root_position)
-            for pos, nbytes in enumerate(per_edge):
-                if nbytes <= 0:
-                    continue
-                src = gpus_by_rank[schedule.order[pos]]
-                dst = gpus_by_rank[schedule.order[(pos + 1) % world]]
-                transfers.append((src, dst, channel, nbytes))
+            return tuple(
+                (schedule.order[pos], schedule.order[(pos + 1) % world], channel, nbytes)
+                for channel in range(channels)
+                for pos, nbytes in enumerate(per_edge)
+                if nbytes > 0
+            )
+
+        program = self.program_cache.get(
+            ("ring", kind, out_bytes, schedule.order, channels, root),
+            compile_ring,
+        )
+        transfers = [
+            (gpus_by_rank[src_rank], gpus_by_rank[dst_rank], channel, nbytes)
+            for src_rank, dst_rank, channel, nbytes in program
+        ]
         steps = steps_for(kind, world)
         return self._launch(
             kind, out_bytes, transfers, table, steps, job_id, on_complete, tags
@@ -134,14 +148,22 @@ class FlowTransport:
         world = trees[0].world
         if len(gpus_by_rank) != world:
             raise ValueError("gpus_by_rank must cover every rank")
-        traffic = double_tree_allreduce_traffic(trees, out_bytes)
-        transfers = []
-        for (src_rank, dst_rank), nbytes in sorted(traffic.items()):
-            if nbytes <= 0:
-                continue
-            transfers.append(
-                (gpus_by_rank[src_rank], gpus_by_rank[dst_rank], 0, nbytes)
+
+        def compile_tree() -> Tuple[ProgramTransfer, ...]:
+            traffic = double_tree_allreduce_traffic(trees, out_bytes)
+            return tuple(
+                (src_rank, dst_rank, 0, nbytes)
+                for (src_rank, dst_rank), nbytes in sorted(traffic.items())
+                if nbytes > 0
             )
+
+        program = self.program_cache.get(
+            ("tree", trees, out_bytes), compile_tree
+        )
+        transfers = [
+            (gpus_by_rank[src_rank], gpus_by_rank[dst_rank], channel, nbytes)
+            for src_rank, dst_rank, channel, nbytes in program
+        ]
         steps = max(tree_steps(t) for t in trees)
         return self._launch(
             Collective.ALL_REDUCE,

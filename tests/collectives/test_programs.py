@@ -1,0 +1,113 @@
+"""Flow-program cache: LRU behavior and launch-path reuse."""
+
+import pytest
+
+from repro.collectives.programs import FlowProgramCache
+from repro.collectives.ring import RingSchedule
+from repro.collectives.types import Collective
+
+
+def test_compiles_once_per_key():
+    cache = FlowProgramCache()
+    calls = []
+
+    def compile():
+        calls.append(1)
+        return ("program",)
+
+    first = cache.get(("k",), compile)
+    second = cache.get(("k",), compile)
+    assert first is second
+    assert len(calls) == 1
+    assert cache.stats() == {"size": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+
+def test_distinct_keys_compile_separately():
+    cache = FlowProgramCache()
+    a = cache.get(("ring", 4), lambda: ("a",))
+    b = cache.get(("ring", 8), lambda: ("b",))
+    assert a == ("a",) and b == ("b",)
+    assert cache.misses == 2
+
+
+def test_lru_eviction_drops_oldest():
+    cache = FlowProgramCache(maxsize=2)
+    cache.get("a", lambda: 1)
+    cache.get("b", lambda: 2)
+    cache.get("a", lambda: 1)  # refresh a; b is now oldest
+    cache.get("c", lambda: 3)  # evicts b
+    assert cache.evictions == 1
+    assert cache.get("a", lambda: 99) == 1  # still cached
+    assert cache.get("b", lambda: 42) == 42  # recompiled
+    assert len(cache) == 2
+
+
+def test_cached_none_is_a_hit():
+    cache = FlowProgramCache()
+    cache.get("k", lambda: None)
+    assert cache.get("k", lambda: "recompiled") is None
+    assert cache.hits == 1
+
+
+def test_clear_resets_entries_but_not_counters():
+    cache = FlowProgramCache()
+    cache.get("k", lambda: 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.misses == 1
+
+
+def test_rejects_nonpositive_maxsize():
+    with pytest.raises(ValueError):
+        FlowProgramCache(maxsize=0)
+
+
+def test_launcher_reuses_ring_program(monkeypatch):
+    """Two identical ring launches compile the transfer program once."""
+    from repro.cluster.specs import testbed_cluster
+    from repro.collectives.cost_model import LatencyModel
+    from repro.netsim.routing import EcmpSelector
+    from repro.transport.connections import ConnectionTable
+    from repro.transport.launcher import FlowTransport
+
+    cluster = testbed_cluster()
+    gpus = [cluster.hosts[h].gpus[0] for h in range(4)]
+    schedule = RingSchedule(order=tuple(range(4)))
+    table = ConnectionTable(cluster, "test")
+    selector = EcmpSelector(seed=0)
+    for pos in range(4):
+        src, dst = gpus[pos], gpus[(pos + 1) % 4]
+        table.establish_edge(src, dst, 0, selector)
+    transport = FlowTransport(
+        cluster, LatencyModel(base=0.0, per_step=0.0, datapath=0.0)
+    )
+
+    def launch():
+        return transport.launch_ring(
+            kind=Collective.ALL_REDUCE,
+            out_bytes=1024,
+            schedule=schedule,
+            gpus_by_rank=gpus,
+            table=table,
+            channels=1,
+        )
+
+    launch()
+    cluster.sim.run()
+    assert transport.program_cache.stats()["misses"] == 1
+    launch()
+    cluster.sim.run()
+    stats = transport.program_cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+    # A different size is a different program.
+    transport.launch_ring(
+        kind=Collective.ALL_REDUCE,
+        out_bytes=2048,
+        schedule=schedule,
+        gpus_by_rank=gpus,
+        table=table,
+        channels=1,
+    )
+    cluster.sim.run()
+    assert transport.program_cache.stats()["misses"] == 2

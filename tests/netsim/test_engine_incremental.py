@@ -1,0 +1,214 @@
+"""Old-engine vs new-engine equivalence, and the incremental-only surface.
+
+The legacy core (full solver rebuild + full completion scans per event) is
+kept as the reference implementation; the incremental core (persistent
+solver, completion heap, virtual-byte clock) must reproduce its results
+exactly on real scenarios.  These tests replay the Figure 7 reconfiguration
+timeline and a Figure 8 multi-tenant grid under both modes and compare
+completion timestamps and bandwidths.
+"""
+
+import itertools
+
+import pytest
+
+import repro.baselines.nccl as nccl_mod
+import repro.core.communicator as comm_mod
+import repro.netsim.engine as engine_mod
+import repro.netsim.flows as flows_mod
+import repro.transport.launcher as launcher_mod
+from repro.core.transport import TrafficGateManager, WindowSchedule
+from repro.netsim.engine import FlowSimulator, SimObserver
+from repro.netsim.topology import Topology
+
+
+def _reset_global_counters(monkeypatch):
+    """Pin every id counter that feeds ECMP hashing / flow identity.
+
+    Experiment runs are deterministic only relative to these counters;
+    resetting them lets two in-process runs (one per engine mode) see
+    byte-identical inputs.
+    """
+    monkeypatch.setattr(comm_mod, "_comm_counter", itertools.count())
+    monkeypatch.setattr(nccl_mod, "_comm_counter", itertools.count())
+    monkeypatch.setattr(flows_mod, "_flow_counter", itertools.count())
+    monkeypatch.setattr(launcher_mod, "_launch_counter", itertools.count())
+
+
+def _run_in_mode(monkeypatch, incremental, fn):
+    _reset_global_counters(monkeypatch)
+    monkeypatch.setattr(engine_mod, "DEFAULT_INCREMENTAL", incremental)
+    return fn()
+
+
+def line_topo(cap=8.0):
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b", cap)
+    return topo
+
+
+# ----------------------------------------------------------------------
+# determinism: legacy and incremental engines agree on real scenarios
+# ----------------------------------------------------------------------
+def test_fig07_timeline_identical_across_engines(monkeypatch):
+    from repro.experiments.fig07_reconfig import run_fig07
+
+    def scenario():
+        timeline = run_fig07(
+            op_bytes=64 * 1024 * 1024,
+            duration=6.0,
+            bg_start=2.0,
+            reconfig_at=3.0,
+        )
+        return timeline
+
+    legacy = _run_in_mode(monkeypatch, False, scenario)
+    incremental = _run_in_mode(monkeypatch, True, scenario)
+    assert len(legacy.points) == len(incremental.points)
+    assert len(legacy.points) > 0
+    for old, new in zip(legacy.points, incremental.points):
+        assert new.time == pytest.approx(old.time, rel=1e-9, abs=1e-9)
+        assert new.algbw_gBps == pytest.approx(old.algbw_gBps, rel=1e-9)
+    assert legacy.ring_after == incremental.ring_after
+    assert legacy.reconfig_done == pytest.approx(
+        incremental.reconfig_done, rel=1e-9
+    )
+
+
+def test_fig08_grid_identical_across_engines(monkeypatch):
+    from repro.experiments.fig08_multi_app import run_fig08
+
+    def scenario():
+        results = run_fig08(
+            setups=("setup1",),
+            trials=1,
+            op_bytes=32 * 1024 * 1024,
+            duration=0.8,
+            warmup=0.2,
+        )
+        return [(r.setup, r.system, r.app_id, r.stat.mean) for r in results]
+
+    legacy = _run_in_mode(monkeypatch, False, scenario)
+    incremental = _run_in_mode(monkeypatch, True, scenario)
+    assert len(legacy) == len(incremental)
+    for old, new in zip(legacy, incremental):
+        assert new[:3] == old[:3]
+        assert new[3] == pytest.approx(old[3], rel=1e-9)
+
+
+@pytest.mark.parametrize("incremental", [False, True])
+def test_staggered_sharing_same_in_both_modes(incremental):
+    sim = FlowSimulator(line_topo(), incremental=incremental)
+    f1 = sim.add_flow(8.0, ["a->b"])
+    sim.schedule(0.5, lambda: sim.add_flow(8.0, ["a->b"]))
+    sim.run()
+    assert f1.end_time == pytest.approx(1.5)
+    assert sim.incremental is incremental
+
+
+# ----------------------------------------------------------------------
+# cancellation: observers and gate managers see flows leave
+# ----------------------------------------------------------------------
+class _Recorder(SimObserver):
+    def __init__(self):
+        self.added = []
+        self.completed = []
+        self.cancelled = []
+
+    def on_flow_added(self, flow, now):
+        self.added.append(flow.flow_id)
+
+    def on_flow_completed(self, flow, now):
+        self.completed.append(flow.flow_id)
+
+    def on_flow_cancelled(self, flow, now):
+        self.cancelled.append((flow.flow_id, now))
+
+
+def test_cancel_flow_notifies_observers():
+    sim = FlowSimulator(line_topo())
+    recorder = _Recorder()
+    sim.add_observer(recorder)
+    flow = sim.add_flow(100.0, ["a->b"])
+    sim.run(until=1.0)
+    assert sim.has_flow(flow)
+    sim.cancel_flow(flow)
+    assert not sim.has_flow(flow)
+    assert recorder.cancelled == [(flow.flow_id, 1.0)]
+    assert recorder.completed == []
+    # Cancelling twice is a no-op, not a double notification.
+    sim.cancel_flow(flow)
+    assert len(recorder.cancelled) == 1
+    # The network drains without the cancelled flow.
+    assert sim.run() == pytest.approx(1.0)
+
+
+def test_cancelled_flow_does_not_complete_or_stall():
+    sim = FlowSimulator(line_topo(cap=8.0))
+    done = []
+    keeper = sim.add_flow(8.0, ["a->b"], on_complete=lambda f, t: done.append(t))
+    doomed = sim.add_flow(8.0, ["a->b"], on_complete=lambda f, t: done.append(t))
+    sim.schedule(0.5, lambda: sim.cancel_flow(doomed))
+    sim.run()
+    # keeper shared until t=0.5 (2 bytes left of 6) then ran alone.
+    assert keeper.completed and not doomed.completed
+    assert done == [pytest.approx(1.25)]
+
+
+def test_gate_manager_forgets_cancelled_flows():
+    sim = FlowSimulator(line_topo())
+    gates = TrafficGateManager(sim)
+    flow = sim.add_flow(1e6, ["a->b"], job_id="appA")
+    gates.register(flow)
+    sim.cancel_flow(flow)
+    # Installing a closed-window schedule must not touch the dead flow.
+    closed = WindowSchedule(period=1.0, open_intervals=((0.9, 1.0),))
+    gates.set_schedule("appA", closed)
+    assert gates.gate_transitions == 0
+    assert not flow.gated
+
+
+# ----------------------------------------------------------------------
+# perf counters
+# ----------------------------------------------------------------------
+def test_perf_counters_incremental():
+    sim = FlowSimulator(line_topo())
+    for _ in range(5):
+        sim.add_flow(8.0, ["a->b"])
+    sim.run()
+    counters = sim.perf_counters()
+    assert counters["flows_completed"] == 5
+    assert counters["rate_recomputations"] >= 1
+    assert counters["solver_full_rebuilds"] == 1  # initial build only
+    assert counters["solver_delta_updates"] == 10  # 5 adds + 5 removals
+    assert (
+        counters["solver_rebuilds_avoided"]
+        == counters["rate_recomputations"] - 1
+    )
+    assert counters["heap_pushes"] > 0
+    assert counters["heap_invalidations"] > 0
+
+
+def test_perf_counters_legacy_mode_reports_rebuilds():
+    sim = FlowSimulator(line_topo(), incremental=False)
+    sim.add_flow(8.0, ["a->b"])
+    sim.run()
+    counters = sim.perf_counters()
+    assert counters["solver_delta_updates"] == 0
+    assert counters["solver_rebuilds_avoided"] == 0
+    assert counters["solver_full_rebuilds"] == counters["rate_recomputations"]
+
+
+def test_rate_recomputations_count_matches_dirty_transitions():
+    # Semantics guard: one recomputation per dirty->clean transition, in
+    # both modes, for the same scenario.
+    def run(incremental):
+        sim = FlowSimulator(line_topo(), incremental=incremental)
+        sim.add_flow(8.0, ["a->b"])
+        sim.schedule(0.25, lambda: sim.add_flow(4.0, ["a->b"]))
+        sim.run()
+        return sim.rate_recomputations
+
+    assert run(True) == run(False)

@@ -20,11 +20,17 @@ from .ipc import IpcRegistry
 
 @dataclass
 class Nic:
-    """One (possibly virtual) NIC: an endpoint node in the fabric."""
+    """One (possibly virtual) NIC: an endpoint node in the fabric.
+
+    ``alive`` is flipped by fault injection; dead NICs are skipped by the
+    channel->NIC rotation, so re-established connections fail over to the
+    host's surviving NICs.
+    """
 
     host_id: int
     index: int
     gbps: float
+    alive: bool = True
 
     @property
     def node_id(self) -> str:
@@ -43,6 +49,8 @@ class Host:
         sysfs_visible: Whether guests can read the PCIe topology; public
             cloud virtualization typically hides it (§4.2), which is why
             a tenant-side NCCL cannot optimize the intra-host strategy.
+        alive: False once the host has crashed (fault injection); a dead
+            host's GPUs, NICs and proxy engines are unusable.
     """
 
     host_id: int
@@ -50,6 +58,7 @@ class Host:
     gpus: List[GpuDevice] = field(default_factory=list)
     nics: List[Nic] = field(default_factory=list)
     sysfs_visible: bool = False
+    alive: bool = True
     ipc: IpcRegistry = field(init=False)
 
     def __post_init__(self) -> None:
@@ -68,6 +77,10 @@ class Host:
         if gpu.host_id != self.host_id:
             raise ValueError(f"GPU {gpu.global_id} is not on host {self.host_id}")
         return self.nics[gpu.local_index % len(self.nics)]
+
+    def alive_nics(self) -> List[Nic]:
+        """The host's NICs that have not failed, in index order."""
+        return [nic for nic in self.nics if nic.alive]
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

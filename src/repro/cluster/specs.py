@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..netsim.engine import FlowSimulator
+from ..netsim.errors import HostCrashedError, NicFailedError
 from ..netsim.fabric import (
     Fabric,
     FabricSpec,
@@ -102,9 +103,21 @@ class Cluster:
         Channel 0 uses the GPU's affine NIC; additional channels rotate
         over the host's NICs so multi-channel communicators exercise all
         of them (NCCL's channel->NIC assignment behaves the same way).
+        The rotation only considers alive NICs, so connections established
+        after a NIC failure fail over to the survivors; with every NIC
+        dead (or the host crashed) this raises :class:`NicFailedError`.
         """
         host = self.hosts[gpu.host_id]
-        nic = host.nics[(gpu.local_index + channel) % len(host.nics)]
+        if not host.alive:
+            raise HostCrashedError(
+                f"host {host.host_id} is down; GPU {gpu.global_id} unreachable"
+            )
+        nics = host.alive_nics()
+        if not nics:
+            raise NicFailedError(
+                f"host {host.host_id} has no alive NICs for GPU {gpu.global_id}"
+            )
+        nic = nics[(gpu.local_index + channel) % len(nics)]
         return nic.node_id
 
     def rack_of(self, gpu: GpuDevice) -> int:
@@ -115,6 +128,22 @@ class Cluster:
 
     def gpus_of_host(self, host_id: int) -> List[GpuDevice]:
         return list(self.hosts[host_id].gpus)
+
+    def links_of_nic(self, host_id: int, nic_index: int) -> List[str]:
+        """Fabric link ids adjacent to one NIC endpoint (both directions)."""
+        nic = self.hosts[host_id].nics[nic_index]
+        return [link.link_id for link in self.topology.links_of_node(nic.node_id)]
+
+    def links_of_host(self, host_id: int) -> List[str]:
+        """Every link that dies with ``host_id``: its NIC uplinks/downlinks
+        plus the intra-host (NVLink/shm) channel."""
+        host = self.hosts[host_id]
+        link_ids = [host.local_link]
+        for nic in host.nics:
+            link_ids.extend(
+                link.link_id for link in self.topology.links_of_node(nic.node_id)
+            )
+        return link_ids
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

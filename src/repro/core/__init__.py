@@ -29,6 +29,12 @@ from .reconfig import (
     ReconfigManager,
     ReconfigSession,
 )
+from .recovery import (
+    HeartbeatMonitor,
+    RecoveryManager,
+    RecoveryPolicy,
+    fault_kind,
+)
 from .service import FrontendEngine, MccsService
 from .shim import ClientCollective, MccsBuffer, MccsClient, MccsCommunicator
 from .strategy import CollectiveStrategy, default_strategy
@@ -54,6 +60,7 @@ __all__ = [
     "DestroyCommunicatorRequest",
     "FreeRequest",
     "FrontendEngine",
+    "HeartbeatMonitor",
     "ManagedAllocation",
     "MccsBuffer",
     "MccsClient",
@@ -64,6 +71,8 @@ __all__ = [
     "ProxyEngine",
     "ReconfigManager",
     "ReconfigSession",
+    "RecoveryManager",
+    "RecoveryPolicy",
     "ServiceCommunicator",
     "TraceRecord",
     "TraceStore",
@@ -71,4 +80,5 @@ __all__ = [
     "VersionedDataPath",
     "WindowSchedule",
     "default_strategy",
+    "fault_kind",
 ]

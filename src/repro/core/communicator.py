@@ -29,7 +29,8 @@ from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
 from ..collectives.programs import FlowProgramCache
 from ..collectives.ring import RingSchedule  # noqa: F401  (re-export for tests)
 from ..collectives.types import Collective, ReduceOp, validate_world
-from ..netsim.errors import ReconfigurationError
+from ..netsim.errors import FaultError, NoPathError, ReconfigurationError
+from ..netsim.flows import Flow
 from ..netsim.routing import RouteIdSelector, RouteMap
 from ..telemetry.hub import TelemetryHub
 from ..telemetry.spans import (
@@ -151,6 +152,19 @@ class CollectiveInstance:
     _launched: Set[int] = field(default_factory=set)
     _pending_flows: int = 0
     _injected_ranks: Set[int] = field(default_factory=set)
+    # failure state
+    #: True once the collective was terminated without completing.
+    aborted: bool = False
+    #: First failure observed (typed; rooted at ReproError).
+    error: Optional[BaseException] = None
+    #: Launch attempts so far (failure recovery bumps this on retry).
+    attempts: int = 1
+    _live_flows: Set[Flow] = field(default_factory=set)
+    _failed_ranks: Dict[int, BaseException] = field(default_factory=dict)
+    #: True after reset_for_retry until the relaunch arrives; keeps the
+    #: instance visible to overlapping recovery cycles (a cycle that ran
+    #: between a reset and its delayed relaunch must still retry it).
+    _awaiting_relaunch: bool = False
 
     @property
     def world(self) -> int:
@@ -158,7 +172,20 @@ class CollectiveInstance:
 
     @property
     def completed(self) -> bool:
-        return self.end_time is not None
+        return self.end_time is not None and not self.aborted
+
+    @property
+    def launch_started(self) -> bool:
+        """True once any rank launched (or failed) this attempt."""
+        return (
+            bool(self._launched)
+            or bool(self._failed_ranks)
+            or self._awaiting_relaunch
+        )
+
+    @property
+    def failed_ranks(self) -> Dict[int, BaseException]:
+        return dict(self._failed_ranks)
 
     @property
     def consistent(self) -> bool:
@@ -239,11 +266,14 @@ class CollectiveInstance:
         the fixed datapath latency."""
         from .algorithms import get_algorithm
 
+        if self.aborted:
+            return
         if rank in self._launched:
             raise ReconfigurationError(
                 f"rank {rank} double-launched collective seq={self.seq}"
             )
         self._launched.add(rank)
+        self._awaiting_relaunch = False
         self.rank_versions[rank] = strategy.version
         comm = self.comm
         if self.span is not None:
@@ -257,7 +287,25 @@ class CollectiveInstance:
         fixed = comm.latency.collective_latency(
             algorithm.steps(self.kind, self.world)
         )
-        comm.sim.call_in(fixed, lambda: self._inject_rank(rank, strategy))
+        attempt = self.attempts
+
+        def deferred() -> None:
+            if self.aborted or self.attempts != attempt:
+                # Aborted (or reset for retry) while the launch was in
+                # flight: drop it, but balance the datapath refcount.
+                comm.datapath.release(strategy.version, comm.strategy.version)
+                return
+            try:
+                self._inject_rank(rank, strategy)
+            except (FaultError, NoPathError) as exc:
+                # Injection hit broken infrastructure (down link, dead
+                # NIC, crashed host, or a partition with no surviving
+                # path): balance the refcount and surface the failure
+                # instead of crashing the event loop.
+                comm.datapath.release(strategy.version, comm.strategy.version)
+                self.rank_failed(rank, exc)
+
+        comm.sim.call_in(fixed, deferred)
 
     def _inject_rank(self, rank: int, strategy: CollectiveStrategy) -> None:
         from .algorithms import get_algorithm
@@ -295,8 +343,12 @@ class CollectiveInstance:
                     "channel": transfer.channel,
                     "rank": rank,
                 },
-                on_complete=lambda _f, _t: self._flow_done(),
+                on_complete=lambda f, _t: self._flow_done(f),
+                on_fail=lambda f, _t, err, rank=rank: self._flow_failed(
+                    f, rank, err
+                ),
             )
+            self._live_flows.add(flow)
             self._pending_flows += 1
             injected_any = True
             if comm.gate is not None:
@@ -306,17 +358,111 @@ class CollectiveInstance:
         if not injected_any:
             self._maybe_complete()
 
-    def _flow_done(self) -> None:
+    def _flow_done(self, flow: Flow) -> None:
+        self._live_flows.discard(flow)
         self._pending_flows -= 1
         self._maybe_complete()
+
+    def _flow_failed(self, flow: Flow, rank: int, error: BaseException) -> None:
+        self._live_flows.discard(flow)
+        self._pending_flows -= 1
+        self.rank_failed(rank, error)
 
     def _maybe_complete(self) -> None:
         if (
             self.end_time is None
+            and not self.aborted
+            and not self._failed_ranks
             and len(self._injected_ranks) == self.world
             and self._pending_flows == 0
         ):
             self._finish()
+
+    # ------------------------------------------------------------------
+    # failure surface
+    # ------------------------------------------------------------------
+    def rank_failed(self, rank: int, error: BaseException) -> None:
+        """Record that ``rank``'s share of this collective failed.
+
+        First failure per rank wins; the communicator's failure handler
+        (failure recovery, when enabled) decides what happens next — with
+        no handler installed the collective aborts immediately, NCCL
+        async-error style.
+        """
+        if self.aborted or self.completed or rank in self._failed_ranks:
+            return
+        self._failed_ranks[rank] = error
+        if self.error is None:
+            self.error = error
+        if self.span is not None:
+            self.span.mark(
+                "rank_failed", self.comm.sim.now, rank=rank, error=str(error)
+            )
+        self.comm.on_instance_failure(self, rank, error)
+
+    def abort(self, error: BaseException) -> None:
+        """Terminate this collective without completing it.
+
+        Surviving flows are cancelled, the tenant's kernel/done-event
+        chain is released (so waiters unblock instead of hanging), and
+        the typed ``error`` is left on the instance.  Buffers are never
+        touched — an aborted collective has undefined output, exactly
+        like an aborted NCCL communicator.
+        """
+        if self.aborted or self.completed:
+            return
+        self.aborted = True
+        if self.error is None:
+            self.error = error
+        comm = self.comm
+        self.end_time = comm.sim.now
+        for flow in list(self._live_flows):
+            comm.sim.cancel_flow(flow)
+        self._live_flows.clear()
+        self._pending_flows = 0
+        self._close_phases(self.end_time)
+        if comm.trace_record:
+            rec = comm.trace.record_for(self.seq)
+            if rec is not None:
+                rec.end_time = self.end_time
+        if self.span is not None and not self.span.finished:
+            self.span.mark("aborted", self.end_time, error=str(self.error))
+            self.span.finish(self.end_time)
+        if comm.telemetry is not None:
+            comm.telemetry.metrics.counter(
+                "mccs_collectives_aborted_total",
+                "Collectives terminated by failure handling, by app.",
+            ).inc(app=comm.app_id, kind=self.kind.value)
+        comm.on_instance_finished(self)
+        if self.kernel is not None:
+            self.kernel.complete()
+        if self.on_complete is not None:
+            self.on_complete(self, self.end_time)
+
+    def reset_for_retry(self) -> None:
+        """Return to the never-launched state so proxies can relaunch.
+
+        Cancels whatever traffic the failed attempt still has in flight
+        and clears all per-attempt bookkeeping; the bumped
+        :attr:`attempts` makes any still-scheduled injection from the
+        old attempt a no-op.
+        """
+        if self.aborted or self.completed:
+            raise ReconfigurationError(
+                f"cannot retry finished collective seq={self.seq}"
+            )
+        self.attempts += 1
+        for flow in list(self._live_flows):
+            self.comm.sim.cancel_flow(flow)
+        self._live_flows.clear()
+        self._pending_flows = 0
+        self._launched.clear()
+        self._injected_ranks.clear()
+        self.rank_versions.clear()
+        self._failed_ranks.clear()
+        self.error = None
+        self.start_time = None
+        self._awaiting_relaunch = True
 
     def _finish(self) -> None:
         comm = self.comm
@@ -416,6 +562,20 @@ class ServiceCommunicator:
         self.trace_record = True
         self.telemetry = telemetry
         self.destroyed = False
+        #: Set once the communicator is irrecoverably failed; subsequent
+        #: tenant requests are rejected with :class:`CommunicatorError`.
+        self.aborted = False
+        self.abort_error: Optional[BaseException] = None
+        #: Installed by failure recovery: ``handler(comm, instance, rank,
+        #: error)``.  ``instance`` may be None (heartbeat-detected death
+        #: with nothing in flight); ``rank`` may be None (deadline expiry).
+        self.failure_handler: Optional[
+            Callable[
+                ["ServiceCommunicator", Optional[CollectiveInstance],
+                 Optional[int], BaseException],
+                None,
+            ]
+        ] = None
         #: Compiled per-rank transfer lists, keyed by everything they
         #: depend on (strategy incl. ring order/channels/route-ids, kind,
         #: sizes, root, rank); traffic loops reissue identical collectives.
@@ -437,6 +597,41 @@ class ServiceCommunicator:
 
     def on_instance_finished(self, instance: CollectiveInstance) -> None:
         self.active_instances.discard(instance.seq)
+
+    def on_instance_failure(
+        self,
+        instance: CollectiveInstance,
+        rank: Optional[int],
+        error: BaseException,
+    ) -> None:
+        """Route one rank-level failure to recovery (or fail fast)."""
+        if self.failure_handler is not None:
+            self.failure_handler(self, instance, rank, error)
+        else:
+            instance.abort(error)
+
+    def abort(self, error: BaseException) -> None:
+        """Irrecoverably fail this communicator.
+
+        Every in-flight collective aborts with ``error`` (waiters
+        unblock), and future requests on the communicator raise
+        :class:`CommunicatorError` — the graceful-degradation path when
+        recovery gives up.  Other communicators are untouched.
+        """
+        if self.aborted:
+            return
+        self.aborted = True
+        self.abort_error = error
+        for seq in sorted(self.active_instances):
+            self.instances[seq].abort(error)
+        if self.telemetry is not None:
+            self.telemetry.events.log(
+                self.sim.now,
+                "comm_aborted",
+                f"comm{self.comm_id} aborted: {error}",
+                comm=self.comm_id,
+                app=self.app_id,
+            )
 
     def describe(self) -> Dict[str, object]:
         """Management-API snapshot consumed by the centralized controller

@@ -19,14 +19,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
+    from .recovery import HeartbeatMonitor, RecoveryManager, RecoveryPolicy
 
 from ..baselines.nccl import default_channels
 from ..cluster.gpu import AsyncOp, Event, GpuDevice
 from ..cluster.specs import Cluster
 from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
 from ..collectives.types import input_bytes
-from ..netsim.errors import CommunicatorError, InvalidBufferError, MccsError
+from ..netsim.errors import (
+    CollectiveTimeoutError,
+    CommunicatorError,
+    InvalidBufferError,
+    MccsError,
+)
 from ..telemetry.hub import TelemetryHub
 from .communicator import CollectiveInstance, ServiceCommunicator
 from .messages import (
@@ -84,6 +92,44 @@ class MccsDeployment:
         self.strategy_factory: Optional[
             Callable[[str, Sequence[GpuDevice], int], CollectiveStrategy]
         ] = None
+        #: Failure recovery, armed via :meth:`enable_recovery`.
+        self.recovery: Optional["RecoveryManager"] = None
+        self.heartbeat_monitor: Optional["HeartbeatMonitor"] = None
+
+    # ------------------------------------------------------------------
+    # failure recovery
+    # ------------------------------------------------------------------
+    def enable_recovery(
+        self,
+        policy: Optional["RecoveryPolicy"] = None,
+        *,
+        heartbeat_until: Optional[float] = None,
+    ) -> "RecoveryManager":
+        """Arm failure recovery for every (current and future) communicator.
+
+        Args:
+            policy: Recovery knobs; defaults to :class:`RecoveryPolicy`.
+            heartbeat_until: Also run the proxy :class:`HeartbeatMonitor`
+                up to this simulation time (the monitor must be bounded —
+                the simulator runs to quiescence).  ``None`` relies on
+                data-path signals alone.
+        """
+        from .recovery import HeartbeatMonitor, RecoveryManager
+
+        if self.recovery is None:
+            self.recovery = RecoveryManager(self, policy)
+        elif policy is not None:
+            self.recovery.policy = policy
+        for comm in self._comms.values():
+            self.recovery.attach(comm)
+        if heartbeat_until is not None:
+            self.heartbeat_monitor = HeartbeatMonitor(
+                self,
+                self.recovery,
+                interval=self.recovery.policy.heartbeat_interval,
+                until=heartbeat_until,
+            ).start()
+        return self.recovery
 
     # ------------------------------------------------------------------
     # application-facing entry point
@@ -146,6 +192,8 @@ class MccsDeployment:
         self._comm_owner[comm.comm_id] = app_id
         for rank, gpu in enumerate(comm.gpus):
             self.service_of_gpu(gpu).proxy_for(gpu.global_id).register(comm, rank)
+        if self.recovery is not None:
+            self.recovery.attach(comm)
         return comm
 
     def handle_destroy_communicator(
@@ -175,6 +223,7 @@ class MccsDeployment:
         kernel starts, the launch fans out to each rank's proxy engine.
         """
         comm = self._owned_comm(app_id, request.comm_id)
+        self._check_not_aborted(comm)
         if request.out_bytes <= 0:
             raise CommunicatorError("collective size must be positive")
         send_views, recv_views = self._validated_views(app_id, comm, request)
@@ -219,6 +268,16 @@ class MccsDeployment:
             comm.stream.wait_event(app_event)
 
         def fan_out() -> None:
+            if comm.aborted and not instance.aborted:
+                # The communicator died while this kernel sat queued on
+                # the stream: terminate the instance (completing the
+                # kernel) so the stream keeps draining for waiters.
+                instance.abort(
+                    comm.abort_error
+                    if comm.abort_error is not None
+                    else CommunicatorError(f"communicator {comm.comm_id} aborted")
+                )
+                return
             for rank, gpu in enumerate(comm.gpus):
                 proxy = self.service_of_gpu(gpu).proxy_for(gpu.global_id)
                 proxy.request_launch(rank, instance)
@@ -229,8 +288,43 @@ class MccsDeployment:
         done_event = Event(name=f"comm{comm.comm_id}.seq{seq}.done")
         instance.done_event = done_event
         comm.stream.record_event(done_event)
+        self._arm_deadline(comm, instance)
         handle = root_host.ipc.export_event(done_event)
         return CollectiveResponse(comm_id=comm.comm_id, seq=seq, done_event=handle)
+
+    def _arm_deadline(
+        self, comm: ServiceCommunicator, instance: CollectiveInstance
+    ) -> None:
+        """Watchdog: a collective that neither completes nor aborts within
+        the recovery policy's deadline surfaces a typed timeout.
+
+        The watchdog re-arms after firing so a stalled retry keeps being
+        reported; recovery's attempt cap (or instance completion) stops it.
+        """
+        if self.recovery is None:
+            return
+        deadline = self.recovery.policy.collective_deadline
+        if deadline is None:
+            return
+
+        def expired() -> None:
+            if instance.completed or instance.aborted or comm.destroyed:
+                return
+            error = CollectiveTimeoutError(
+                f"collective seq={instance.seq} on comm {comm.comm_id} "
+                f"exceeded its {deadline:g}s deadline "
+                f"(attempt {instance.attempts})"
+            )
+            if instance.error is None:
+                instance.error = error
+            self._telemetry.metrics.counter(
+                "mccs_collective_deadlines_total",
+                "Collective deadline expiries detected by the watchdog.",
+            ).inc(app=comm.app_id)
+            comm.on_instance_failure(instance, None, error)
+            self.sim.call_in(deadline, expired)
+
+        self.sim.call_in(deadline, expired)
 
     def handle_p2p(self, app_id: str, request) -> "P2pResponse":
         """Point-to-point transfer between two ranks (§5 extension).
@@ -246,6 +340,7 @@ class MccsDeployment:
 
         assert isinstance(request, P2pRequest)
         comm = self._owned_comm(app_id, request.comm_id)
+        self._check_not_aborted(comm)
         if request.nbytes <= 0:
             raise CommunicatorError("transfer size must be positive")
         if not (
@@ -350,6 +445,13 @@ class MccsDeployment:
                 recv_views.append(manager.view(app_id, ref, dtype))
         return send_views, recv_views
 
+    def _check_not_aborted(self, comm: ServiceCommunicator) -> None:
+        if comm.aborted:
+            raise CommunicatorError(
+                f"communicator {comm.comm_id} was aborted by failure "
+                f"recovery: {comm.abort_error}"
+            )
+
     def _owned_comm(self, app_id: str, comm_id: int) -> ServiceCommunicator:
         comm = self._comms.get(comm_id)
         if comm is None:
@@ -405,12 +507,15 @@ class MccsDeployment:
         algorithm: Optional[str] = None,
         delays: Optional[Sequence[float]] = None,
         barrier_enabled: bool = True,
+        barrier_timeout: Optional[float] = None,
         on_done: Optional[Callable[[ReconfigSession], None]] = None,
+        on_failed: Optional[Callable[[ReconfigSession], None]] = None,
     ) -> ReconfigSession:
         """Provider command: move a communicator to a new strategy."""
         from ..collectives.ring import RingSchedule
 
         comm = self.communicator(comm_id)
+        self._check_not_aborted(comm)
         new_strategy = comm.strategy.evolve(
             ring=RingSchedule(tuple(ring)) if ring is not None else None,
             channels=channels,
@@ -423,7 +528,9 @@ class MccsDeployment:
             delays=delays,
             barrier_enabled=barrier_enabled,
             control_latency=self.control_latency,
+            barrier_timeout=barrier_timeout,
             on_done=on_done,
+            on_failed=on_failed,
         )
 
     def set_traffic_schedule(

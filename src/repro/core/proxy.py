@@ -14,7 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
-from ..netsim.errors import ReconfigurationError
+from ..netsim.errors import HostCrashedError, ReconfigurationError
 from ..telemetry.spans import EVENT_HELD
 from .communicator import CollectiveInstance, ServiceCommunicator
 from .strategy import CollectiveStrategy
@@ -59,6 +59,50 @@ class ProxyEngine:
         self._ranks: Dict[CommRankKey, _RankState] = {}
         self.launches = 0
         self.reconfigurations = 0
+        #: Cleared when the host crashes; dead proxies reject launches,
+        #: stop answering heartbeats and never contribute to barriers.
+        self.alive = True
+        self.error: Optional[BaseException] = None
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def fail(self, error: BaseException) -> None:
+        """Kill this proxy (host crash).
+
+        Queued launches fail immediately with ``error`` so their
+        collectives surface a typed failure instead of waiting for a
+        deadline; any reconfiguration this proxy was holding for is
+        dropped (the session's barrier timeout reports it as missing).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.error = error
+        for (comm_id, rank), state in list(self._ranks.items()):
+            pending = list(state.pending)
+            state.pending.clear()
+            state.holding = False
+            state.catch_up_max = None
+            state.session = None
+            state.hold_since = None
+            for instance in pending:
+                instance.rank_failed(rank, error)
+
+    def heartbeat(self, now: float) -> bool:
+        """Answer a liveness probe; dead proxies do not answer."""
+        if not self.alive:
+            return False
+        self.heartbeats += 1
+        return True
+
+    def _death_error(self) -> BaseException:
+        if self.error is not None:
+            return self.error
+        return HostCrashedError(
+            f"proxy of GPU {self.gpu_global_id} on host {self.host_id} is dead"
+        )
 
     # ------------------------------------------------------------------
     def register(self, comm: ServiceCommunicator, rank: int) -> None:
@@ -105,6 +149,9 @@ class ProxyEngine:
         already resolved but that is still behind ``max_seq`` launches
         pre-barrier sequence numbers under the old strategy (catch-up).
         """
+        if not self.alive:
+            instance.rank_failed(rank, self._death_error())
+            return
         state = self.state(instance.comm.comm_id, rank)
         if not state.holding:
             self._launch(state, rank, instance)
@@ -144,6 +191,33 @@ class ProxyEngine:
                 f"{state.launched_seq} (comm {instance.comm.comm_id}, rank {rank})"
             )
         state.launched_seq = instance.seq
+        if instance.aborted:
+            # The sequence number is consumed (keeping the ordering
+            # invariant for later collectives) but no traffic is injected.
+            return
+        self.launches += 1
+        instance.rank_launch(rank, state.strategy)
+
+    def relaunch(self, rank: int, instance: CollectiveInstance) -> None:
+        """Re-launch a collective this proxy already launched once.
+
+        Used by failure recovery after :meth:`CollectiveInstance.reset_for_retry`:
+        the sequence number was consumed on the first attempt, so the
+        ordering check of :meth:`_launch` does not apply — but only for
+        sequence numbers at or below the launch cursor, which is what makes
+        this safe.
+        """
+        if not self.alive:
+            instance.rank_failed(rank, self._death_error())
+            return
+        state = self.state(instance.comm.comm_id, rank)
+        if instance.seq > state.launched_seq:
+            raise ReconfigurationError(
+                f"relaunch of seq {instance.seq} that was never launched "
+                f"(cursor {state.launched_seq})"
+            )
+        if instance.aborted:
+            return
         self.launches += 1
         instance.rank_launch(rank, state.strategy)
 
@@ -159,6 +233,10 @@ class ProxyEngine:
         left of Figure 4), it applies the update immediately — which the
         consistency checker catches when ranks end up disagreeing.
         """
+        if not self.alive:
+            # A dead proxy never contributes; the session's barrier
+            # timeout names this rank as missing.
+            return
         state = self.state(session.comm.comm_id, rank)
         if state.session is not None:
             raise ReconfigurationError(
@@ -186,6 +264,8 @@ class ProxyEngine:
         launched them), then the strategy switches, then the rest of the
         queue drains under the new one.
         """
+        if not self.alive:
+            return
         state = self.state(session.comm.comm_id, rank)
         if state.session is not session or not state.holding:
             raise ReconfigurationError(
@@ -217,5 +297,25 @@ class ProxyEngine:
         state.hold_since = None
         self.reconfigurations += 1
         session.mark_applied(rank)
+        while state.pending:
+            self._launch(state, rank, state.pending.popleft())
+
+    def abort_reconfig(self, rank: int, session: "ReconfigSession") -> None:
+        """Tear down a timed-out reconfiguration session for ``rank``.
+
+        The proxy keeps its *old* strategy, stops holding, and drains the
+        launches it queued behind the barrier — if their paths are broken
+        they fail with a typed error during injection and failure recovery
+        takes over from there.
+        """
+        if not self.alive:
+            return
+        state = self._ranks.get((session.comm.comm_id, rank))
+        if state is None or state.session is not session:
+            return
+        state.session = None
+        state.holding = False
+        state.catch_up_max = None
+        state.hold_since = None
         while state.pending:
             self._launch(state, rank, state.pending.popleft())

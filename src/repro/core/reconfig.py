@@ -89,7 +89,9 @@ class ReconfigSession:
         *,
         barrier_enabled: bool = True,
         control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
+        barrier_timeout: Optional[float] = None,
         on_done: Optional[Callable[["ReconfigSession"], None]] = None,
+        on_failed: Optional[Callable[["ReconfigSession"], None]] = None,
         telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         if new_strategy.version <= comm.strategy.version:
@@ -107,10 +109,18 @@ class ReconfigSession:
         self.done_time: Optional[float] = None
         self._applied: Set[int] = set()
         self._on_done = on_done
+        self._on_failed = on_failed
         self.barrier = ControlBarrier(
             comm.sim, comm.world, control_latency, self._barrier_resolved
         )
         self.max_seq: Optional[int] = None
+        self.barrier_timeout = barrier_timeout
+        self.failed = False
+        self.error: Optional[ReconfigurationError] = None
+        if barrier_enabled and barrier_timeout is not None:
+            if barrier_timeout <= 0:
+                raise ReconfigurationError("barrier timeout must be positive")
+            comm.sim.call_in(barrier_timeout, self._check_timeout)
         self.telemetry = telemetry
         self.span = None
         self._barrier_span = None
@@ -147,14 +157,66 @@ class ReconfigSession:
     # ------------------------------------------------------------------
     def deliver(self, rank: int, delay: float) -> None:
         """Schedule delivery of the request to ``rank``'s proxy."""
-        self.comm.sim.call_in(
-            delay, lambda: self.proxies[rank].receive_reconfig(rank, self)
-        )
+
+        def arrive() -> None:
+            if self.failed:
+                return  # delivered after the barrier timed out: drop it
+            self.proxies[rank].receive_reconfig(rank, self)
+
+        self.comm.sim.call_in(delay, arrive)
 
     def contribute(self, rank: int, launched_seq: int) -> None:
+        if self.failed:
+            return
         self.barrier.contribute(rank, launched_seq)
 
+    def _check_timeout(self) -> None:
+        """Fail the session if the AllGather has not resolved in time.
+
+        Every rank that never contributed (dead proxy, lost delivery) is
+        named in the error; proxies that *did* stall behind the barrier
+        are released under their old strategy so the communicator does not
+        hang.  With an ``on_failed`` handler (failure recovery) the error
+        is delivered there; without one it is raised, which propagates out
+        of :meth:`FlowSimulator.run`.
+        """
+        if self.failed or self.done or self.barrier.resolved:
+            return
+        missing = sorted(
+            rank for rank in range(self.comm.world)
+            if rank not in self.barrier.contributions
+        )
+        self.failed = True
+        self.error = ReconfigurationError(
+            f"reconfiguration barrier for comm {self.comm.comm_id} timed out "
+            f"after {self.barrier_timeout:g}s waiting for rank(s) "
+            f"{missing or '(AllGather latency)'}"
+        )
+        now = self.comm.sim.now
+        for rank, proxy in enumerate(self.proxies):
+            proxy.abort_reconfig(rank, self)
+        if self._barrier_span is not None and not self._barrier_span.finished:
+            self._barrier_span.finish(now)
+        if self.span is not None and not self.span.finished:
+            self.span.mark("barrier_timeout", now, missing=missing)
+            self.span.finish(now)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "mccs_reconfig_timeouts_total",
+                "Reconfiguration barriers abandoned on timeout.",
+            ).inc(comm=f"comm{self.comm.comm_id}")
+            self.telemetry.events.log(
+                now, "reconfig_timeout", str(self.error),
+                comm=self.comm.comm_id, missing=missing,
+            )
+        if self._on_failed is not None:
+            self._on_failed(self)
+        else:
+            raise self.error
+
     def _barrier_resolved(self, max_seq: int) -> None:
+        if self.failed:
+            return
         self.max_seq = max_seq
         self.resolve_time = self.comm.sim.now
         if self.span is not None:
@@ -238,7 +300,9 @@ class ReconfigManager:
         delays: Optional[Sequence[float]] = None,
         barrier_enabled: bool = True,
         control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
+        barrier_timeout: Optional[float] = None,
         on_done: Optional[Callable[[ReconfigSession], None]] = None,
+        on_failed: Optional[Callable[[ReconfigSession], None]] = None,
     ) -> ReconfigSession:
         """Send a reconfiguration request to every rank's proxy.
 
@@ -250,7 +314,13 @@ class ReconfigManager:
             barrier_enabled: Disable only to demonstrate the Figure 4
                 hazard; production code always leaves this True.
             control_latency: One AllGather round on the control ring.
+            barrier_timeout: Give up on the barrier after this long and
+                fail the session with a :class:`ReconfigurationError`
+                naming the ranks that never contributed.  ``None`` waits
+                forever (the pre-fault-tolerance behaviour).
             on_done: Callback once every rank applied the update.
+            on_failed: Callback on barrier timeout; without one the
+                timeout error is raised out of the simulation loop.
         """
         if comm.comm_id in self._active and not self._active[comm.comm_id].done:
             raise ReconfigurationError(
@@ -265,13 +335,23 @@ class ReconfigManager:
             if on_done is not None:
                 on_done(session)
 
+        def timed_out(session: ReconfigSession) -> None:
+            self._active.pop(comm.comm_id, None)
+            if on_failed is not None:
+                on_failed(session)
+            else:
+                assert session.error is not None
+                raise session.error
+
         session = ReconfigSession(
             comm,
             new_strategy,
             proxies,
             barrier_enabled=barrier_enabled,
             control_latency=control_latency,
+            barrier_timeout=barrier_timeout,
             on_done=finished,
+            on_failed=timed_out,
             telemetry=self._telemetry,
         )
         self._active[comm.comm_id] = session

@@ -11,10 +11,16 @@ from .netsim.errors import (
     AllocationError,
     ClusterError,
     CollectiveError,
+    CollectiveTimeoutError,
     CommunicatorError,
+    FaultError,
+    HeartbeatTimeoutError,
+    HostCrashedError,
     InvalidBufferError,
+    LinkDownError,
     MccsError,
     NetSimError,
+    NicFailedError,
     NoPathError,
     PlacementError,
     PolicyError,
@@ -30,11 +36,17 @@ __all__ = [
     "AllocationError",
     "ClusterError",
     "CollectiveError",
+    "CollectiveTimeoutError",
     "CommunicatorError",
+    "FaultError",
+    "HeartbeatTimeoutError",
+    "HostCrashedError",
     "InvalidBufferError",
     "IpcError",
+    "LinkDownError",
     "MccsError",
     "NetSimError",
+    "NicFailedError",
     "NoPathError",
     "PlacementError",
     "PolicyError",

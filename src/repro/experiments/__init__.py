@@ -14,6 +14,7 @@ from . import (
     fig09_qos,
     fig10_dynamic,
     fig11_simulation,
+    fig_failover,
 )
 from .report import Stat, cdf_points, format_table, geometric_mean, print_table
 from .setups import (
@@ -33,6 +34,7 @@ ALL_FIGURES = {
     "fig09": fig09_qos,
     "fig10": fig10_dynamic,
     "fig11": fig11_simulation,
+    "failover": fig_failover,
 }
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "fig09_qos",
     "fig10_dynamic",
     "fig11_simulation",
+    "fig_failover",
     "format_table",
     "geometric_mean",
     "multi_app_setups",

@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the netsim and control plane.
+
+The paper's premise is that a *managed* collective-communication service
+can react to infrastructure events transparently to tenants (§4.2).  This
+package supplies the events: a seedable :class:`FaultPlan` describes link,
+NIC and host faults as discrete-event entries, and a :class:`FaultInjector`
+schedules them into the shared :class:`~repro.netsim.engine.FlowSimulator`
+clock, flipping the cluster's alive flags and killing in-flight flows.
+
+Detection and recovery live in :mod:`repro.core.recovery`; this package is
+purely the cause, never the cure — nothing here notifies the control plane
+directly, so recovery paths are exercised end to end (flow failures,
+dead-proxy launches, missed heartbeats).
+"""
+
+from .plan import FaultEvent, FaultKind, FaultPlan
+from .injector import FaultInjector
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]

@@ -1,0 +1,239 @@
+"""Fault plans: seedable, deterministic schedules of infrastructure faults.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` entries.
+Plans are built either explicitly (experiments injecting one well-placed
+fault) or randomly from a single ``random.Random`` (chaos tests); both are
+fully deterministic, so a failing chaos seed replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+if False:  # pragma: no cover - typing only
+    from ..cluster.specs import Cluster
+
+
+class FaultKind(str, Enum):
+    """What kind of component fails (or recovers)."""
+
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    LINK_DEGRADE = "link_degrade"
+    LINK_RESTORE = "link_restore"
+    NIC_FAIL = "nic_fail"
+    NIC_RECOVER = "nic_recover"
+    HOST_CRASH = "host_crash"
+
+
+#: Kinds that target a link id.
+_LINK_KINDS = {
+    FaultKind.LINK_DOWN,
+    FaultKind.LINK_UP,
+    FaultKind.LINK_DEGRADE,
+    FaultKind.LINK_RESTORE,
+}
+#: Kinds that target a (host, nic) pair.
+_NIC_KINDS = {FaultKind.NIC_FAIL, FaultKind.NIC_RECOVER}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        time: Absolute simulation time the fault strikes.
+        kind: What happens.
+        link_id: Target link (link kinds only).
+        host_id: Target host (NIC and host kinds).
+        nic_index: Target NIC index within the host (NIC kinds only).
+        factor: Remaining capacity fraction for ``LINK_DEGRADE``
+            (0.25 = the link keeps a quarter of its capacity).
+    """
+
+    time: float
+    kind: FaultKind
+    link_id: Optional[str] = None
+    host_id: Optional[int] = None
+    nic_index: Optional[int] = None
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind in _LINK_KINDS and self.link_id is None:
+            raise ValueError(f"{self.kind.value} needs a link_id")
+        if self.kind in _NIC_KINDS and (
+            self.host_id is None or self.nic_index is None
+        ):
+            raise ValueError(f"{self.kind.value} needs host_id and nic_index")
+        if self.kind is FaultKind.HOST_CRASH and self.host_id is None:
+            raise ValueError("host_crash needs a host_id")
+        if self.kind is FaultKind.LINK_DEGRADE and not 0.0 < self.factor < 1.0:
+            raise ValueError("degrade factor must be in (0, 1)")
+
+    def describe(self) -> str:
+        if self.kind in _LINK_KINDS:
+            target = self.link_id
+        elif self.kind in _NIC_KINDS:
+            target = f"h{self.host_id}.nic{self.nic_index}"
+        else:
+            target = f"h{self.host_id}"
+        extra = f" x{self.factor:g}" if self.kind is FaultKind.LINK_DEGRADE else ""
+        return f"t={self.time:g}s {self.kind.value} {target}{extra}"
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of fault events.
+
+    Builder methods append events (optionally with an automatic recovery
+    ``duration`` later) and return ``self`` for chaining; :attr:`events`
+    yields them sorted by time.
+    """
+
+    _events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(sorted(self._events, key=lambda e: e.time))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self._events.append(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def link_down(
+        self, time: float, link_id: str, *, duration: Optional[float] = None
+    ) -> "FaultPlan":
+        """Take ``link_id`` down at ``time``; back up after ``duration``."""
+        self.add(FaultEvent(time, FaultKind.LINK_DOWN, link_id=link_id))
+        if duration is not None:
+            self.add(FaultEvent(time + duration, FaultKind.LINK_UP, link_id=link_id))
+        return self
+
+    def link_degrade(
+        self,
+        time: float,
+        link_id: str,
+        factor: float,
+        *,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Cut ``link_id`` to ``factor`` of its capacity at ``time``."""
+        self.add(
+            FaultEvent(time, FaultKind.LINK_DEGRADE, link_id=link_id, factor=factor)
+        )
+        if duration is not None:
+            self.add(
+                FaultEvent(time + duration, FaultKind.LINK_RESTORE, link_id=link_id)
+            )
+        return self
+
+    def nic_fail(
+        self,
+        time: float,
+        host_id: int,
+        nic_index: int,
+        *,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        self.add(
+            FaultEvent(time, FaultKind.NIC_FAIL, host_id=host_id, nic_index=nic_index)
+        )
+        if duration is not None:
+            self.add(
+                FaultEvent(
+                    time + duration,
+                    FaultKind.NIC_RECOVER,
+                    host_id=host_id,
+                    nic_index=nic_index,
+                )
+            )
+        return self
+
+    def host_crash(self, time: float, host_id: int) -> "FaultPlan":
+        """Crash ``host_id`` at ``time``.  Hosts do not come back."""
+        return self.add(FaultEvent(time, FaultKind.HOST_CRASH, host_id=host_id))
+
+    def describe(self) -> List[str]:
+        return [event.describe() for event in self.events]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        cluster: "Cluster",
+        *,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+        horizon: float = 2.0,
+        num_faults: int = 2,
+        min_time: float = 0.1,
+        kinds: Sequence[FaultKind] = (
+            FaultKind.LINK_DOWN,
+            FaultKind.LINK_DEGRADE,
+            FaultKind.NIC_FAIL,
+            FaultKind.HOST_CRASH,
+        ),
+        link_candidates: Optional[Sequence[str]] = None,
+        host_candidates: Optional[Sequence[int]] = None,
+        transient_fraction: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw a random plan, reproducible from one ``rng``/``seed``.
+
+        Link faults pick from ``link_candidates`` (default: every fabric
+        link except the intra-host channels); NIC and host faults pick
+        from ``host_candidates`` (default: every host).  A fault is made
+        transient (auto-recovery after a random fraction of the remaining
+        horizon) with probability ``transient_fraction`` — host crashes
+        are always permanent.
+        """
+        if rng is None:
+            rng = random.Random(seed)
+        if num_faults < 0:
+            raise ValueError("num_faults must be non-negative")
+        if link_candidates is None:
+            link_candidates = sorted(
+                link_id
+                for link_id in cluster.topology.links
+                if ".local" not in link_id
+            )
+        if host_candidates is None:
+            host_candidates = list(range(cluster.num_hosts))
+        plan = cls()
+        crashed: set = set()
+        for _ in range(num_faults):
+            kind = rng.choice(list(kinds))
+            time = rng.uniform(min_time, horizon)
+            transient = rng.random() < transient_fraction
+            duration = rng.uniform(0.1, max(horizon - time, 0.2)) if transient else None
+            if kind is FaultKind.LINK_DOWN and link_candidates:
+                plan.link_down(time, rng.choice(list(link_candidates)), duration=duration)
+            elif kind is FaultKind.LINK_DEGRADE and link_candidates:
+                plan.link_degrade(
+                    time,
+                    rng.choice(list(link_candidates)),
+                    rng.uniform(0.05, 0.5),
+                    duration=duration,
+                )
+            elif kind is FaultKind.NIC_FAIL and host_candidates:
+                host_id = rng.choice(list(host_candidates))
+                nic_index = rng.randrange(len(cluster.hosts[host_id].nics))
+                plan.nic_fail(time, host_id, nic_index, duration=duration)
+            elif kind is FaultKind.HOST_CRASH and host_candidates:
+                remaining = [h for h in host_candidates if h not in crashed]
+                if not remaining:
+                    continue
+                host_id = rng.choice(remaining)
+                crashed.add(host_id)
+                plan.host_crash(time, host_id)
+        return plan

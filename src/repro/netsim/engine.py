@@ -34,7 +34,7 @@ import itertools
 import math
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .errors import SimulationError
+from .errors import LinkDownError, SimulationError
 from .fairness import FairnessSolver, IncrementalFairnessSolver, link_loads
 from .flows import Flow
 from .topology import Topology
@@ -69,6 +69,9 @@ class SimObserver:
         pass
 
     def on_flow_cancelled(self, flow: Flow, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_flow_failed(self, flow: Flow, now: float) -> None:  # pragma: no cover
         pass
 
     def on_flow_gated(self, flow: Flow, gated: bool, now: float) -> None:  # pragma: no cover
@@ -122,6 +125,8 @@ class FlowSimulator:
         self._dirty = True
         self._observers: List[SimObserver] = []
         self.flows_completed = 0
+        self.flows_cancelled = 0
+        self.flows_failed = 0
         self.rate_recomputations = 0
         # incremental-mode state
         if incremental is None:
@@ -164,10 +169,21 @@ class FlowSimulator:
         weight: float = 1.0,
         gated: bool = False,
         on_complete: Optional[Callable[[Flow, float], None]] = None,
+        on_fail: Optional[Callable[[Flow, float, BaseException], None]] = None,
         tags: Optional[Dict[str, object]] = None,
     ) -> Flow:
-        """Inject a flow into the network at the current time."""
+        """Inject a flow into the network at the current time.
+
+        Raises :class:`LinkDownError` when the path crosses a link that is
+        currently down (a stale connection caching a pre-fault route).
+        """
         self.topology.validate_path(path)
+        if self.topology.has_down_links:
+            for link_id in path:
+                if not self.topology.link_is_up(link_id):
+                    raise LinkDownError(
+                        f"flow path crosses down link {link_id!r}"
+                    )
         flow = Flow(
             size=size,
             path=tuple(path),
@@ -175,6 +191,7 @@ class FlowSimulator:
             weight=weight,
             gated=gated,
             on_complete=on_complete,
+            on_fail=on_fail,
             tags=dict(tags or {}),
         )
         flow.start_time = self.now
@@ -192,10 +209,39 @@ class FlowSimulator:
 
         Used to stop background flows and to tear down connections during
         reconfiguration.  Observers receive ``on_flow_cancelled`` so
-        lifecycle trackers do not leak an in-flight entry.
+        lifecycle trackers do not leak an in-flight entry.  Cancelling a
+        flow that already completed, failed, or was cancelled is a no-op
+        (fault storms cancel liberally), so observers are notified and
+        ``flows_cancelled`` is bumped exactly once per flow.
         """
         if flow.flow_id not in self._active:
             return
+        self._remove_flow(flow)
+        self.flows_cancelled += 1
+        for observer in self._observers:
+            observer.on_flow_cancelled(flow, self.now)
+
+    def fail_flow(self, flow: Flow, error: BaseException) -> None:
+        """Kill an in-flight flow with a fault.
+
+        Like :meth:`cancel_flow` but the flow is marked ``failed`` with
+        ``error`` attached, observers receive ``on_flow_failed``, and the
+        flow's ``on_fail`` callback fires (``on_complete`` never does).
+        Failing a flow that already left the network is a no-op.
+        """
+        if flow.flow_id not in self._active:
+            return
+        self._remove_flow(flow)
+        flow.failed = True
+        flow.error = error
+        self.flows_failed += 1
+        for observer in self._observers:
+            observer.on_flow_failed(flow, self.now)
+        if flow.on_fail is not None:
+            flow.on_fail(flow, self.now, error)
+
+    def _remove_flow(self, flow: Flow) -> None:
+        """Shared teardown of cancel/fail: settle, unplumb, mark dirty."""
         if self._inc is not None:
             self._settle(flow)
             self._inc.remove_flow(flow)
@@ -203,8 +249,6 @@ class FlowSimulator:
             self.heap_invalidations += 1
         del self._active[flow.flow_id]
         self._dirty = True
-        for observer in self._observers:
-            observer.on_flow_cancelled(flow, self.now)
 
     def has_flow(self, flow: Flow) -> bool:
         """True while ``flow`` is still in the network (not done/cancelled)."""
@@ -254,6 +298,37 @@ class FlowSimulator:
     def link_capacity(self, link_id: str) -> float:
         return self._capacities[link_id]
 
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail_link(self, link_id: str, *, reason: Optional[str] = None) -> List[Flow]:
+        """Take a link down at the current time.
+
+        Every in-flight flow crossing the link is killed via
+        :meth:`fail_flow` with a :class:`LinkDownError`; subsequent
+        path enumeration (:meth:`Topology.shortest_paths`) excludes the
+        link until :meth:`restore_link`.  Returns the killed flows.
+        Failing an already-down link is a no-op.
+        """
+        if not self.topology.set_link_state(link_id, up=False):
+            return []
+        detail = f"link {link_id!r} went down" + (f" ({reason})" if reason else "")
+        victims = [f for f in self._active.values() if link_id in f.links]
+        for flow in victims:
+            self.fail_flow(flow, LinkDownError(detail))
+        self._dirty = True
+        return victims
+
+    def restore_link(self, link_id: str) -> bool:
+        """Bring a previously failed link back up; True if it was down."""
+        changed = self.topology.set_link_state(link_id, up=True)
+        if changed:
+            self._dirty = True
+        return changed
+
+    def link_is_up(self, link_id: str) -> bool:
+        return self.topology.link_is_up(link_id)
+
     def link_utilization(self, min_utilization: float = 0.0) -> Dict[str, float]:
         """Current utilization (allocated rate / capacity) per link.
 
@@ -282,6 +357,8 @@ class FlowSimulator:
         counters: Dict[str, int] = {
             "rate_recomputations": self.rate_recomputations,
             "flows_completed": self.flows_completed,
+            "flows_cancelled": self.flows_cancelled,
+            "flows_failed": self.flows_failed,
             "heap_pushes": self.heap_pushes,
             "heap_invalidations": self.heap_invalidations,
             "stale_heap_pops": self.stale_heap_pops,

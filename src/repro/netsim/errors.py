@@ -33,6 +33,27 @@ class SimulationError(NetSimError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class FaultError(NetSimError):
+    """Base class for injected infrastructure faults.
+
+    Raised (or attached to the affected flows / communicators) when a
+    fault plan takes down part of the fabric; the concrete subclass says
+    which component died.
+    """
+
+
+class LinkDownError(FaultError):
+    """A link went down, or a flow was injected over a down link."""
+
+
+class NicFailedError(FaultError):
+    """A NIC failed; its fabric endpoint is unreachable."""
+
+
+class HostCrashedError(FaultError):
+    """A host crashed, taking its GPUs, NICs and proxy engines with it."""
+
+
 class ClusterError(ReproError):
     """Base class for cluster-substrate errors."""
 
@@ -68,6 +89,14 @@ class InvalidBufferError(MccsError):
 
 class ReconfigurationError(MccsError):
     """The reconfiguration barrier protocol was violated."""
+
+
+class CollectiveTimeoutError(MccsError):
+    """A collective missed its completion deadline (stalled or dead peer)."""
+
+
+class HeartbeatTimeoutError(MccsError):
+    """A proxy engine stopped heartbeating; its host is presumed dead."""
 
 
 class PolicyError(MccsError):

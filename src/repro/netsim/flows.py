@@ -37,7 +37,12 @@ class Flow:
         rate: Current allocated rate in bytes/s (maintained by the engine).
         start_time: Simulation time the flow entered the network.
         end_time: Completion time, or None while in flight.
+        failed: True once the flow was killed by an infrastructure fault
+            (link down, host crash); failed flows never complete.
+        error: The fault that killed the flow, or None.
         on_complete: Callback ``fn(flow, now)`` fired at completion.
+        on_fail: Callback ``fn(flow, now, error)`` fired when a fault
+            kills the flow (never fired for plain cancellation).
         tags: Free-form metadata (communicator id, channel index, ...).
         links: The distinct links of ``path`` (order-stable); cached once
             so the fairness allocator and utilization aggregation never
@@ -54,7 +59,10 @@ class Flow:
     rate: float = field(init=False, default=0.0)
     start_time: float = field(init=False, default=0.0)
     end_time: Optional[float] = field(init=False, default=None)
+    failed: bool = field(init=False, default=False)
+    error: Optional[BaseException] = field(init=False, default=None, repr=False)
     on_complete: Optional[Callable[["Flow", float], None]] = None
+    on_fail: Optional[Callable[["Flow", float, BaseException], None]] = None
     tags: Dict[str, object] = field(default_factory=dict)
     links: Tuple[str, ...] = field(init=False, repr=False)
     #: Engine-managed anchor of the lazy progress clock: ``remaining`` is
@@ -96,7 +104,10 @@ class Flow:
         return self.end_time - self.start_time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "done" if self.completed else ("gated" if self.gated else "active")
+        if self.failed:
+            state = "failed"
+        else:
+            state = "done" if self.completed else ("gated" if self.gated else "active")
         return (
             f"Flow({self.flow_id}, size={self.size:.0f}, "
             f"remaining={self.remaining:.0f}, rate={self.rate:.3g}, {state})"

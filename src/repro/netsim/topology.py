@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .errors import NoPathError, UnknownLinkError, UnknownNodeError
 
@@ -75,6 +75,10 @@ class Topology:
         # src index -> {"dist": [...], "preds": [[(pred index, link id)]],
         # "frontier": [...]} — one (partial) BFS serves every destination.
         self._sssp_cache: Dict[int, Dict[str, list]] = {}
+        # Administratively-down links (fault injection): excluded from path
+        # enumeration while the Link objects stay registered, so restoring
+        # a link is cheap and flow validation still recognizes its id.
+        self._down: Set[str] = set()
 
     # ------------------------------------------------------------------
     # construction
@@ -161,6 +165,53 @@ class Topology:
     def capacity_of(self, link_id: str) -> float:
         return self.link(link_id).capacity
 
+    def links_of_node(self, node_id: str) -> List[Link]:
+        """Every link touching ``node_id`` (either endpoint)."""
+        self.node(node_id)
+        return [
+            link
+            for link in self._links.values()
+            if link.src == node_id or link.dst == node_id
+        ]
+
+    # ------------------------------------------------------------------
+    # link up/down state (fault injection)
+    # ------------------------------------------------------------------
+    def set_link_state(self, link_id: str, up: bool) -> bool:
+        """Mark a link up or down; returns True if the state changed.
+
+        Down links keep their :class:`Link` entry but are excluded from
+        shortest-path enumeration, so route re-resolution naturally avoids
+        them.  Like structural mutations, a state change *replaces* the
+        shared path caches instead of clearing them (see
+        :meth:`adopt_path_cache`).
+        """
+        self.link(link_id)
+        currently_up = link_id not in self._down
+        if currently_up == up:
+            return False
+        if up:
+            self._down.discard(link_id)
+        else:
+            self._down.add(link_id)
+        self._path_cache = {}
+        self._sssp_cache = {}
+        self._compact = None
+        return True
+
+    def link_is_up(self, link_id: str) -> bool:
+        self.link(link_id)
+        return link_id not in self._down
+
+    @property
+    def has_down_links(self) -> bool:
+        """Cheap guard for hot paths: any link currently down?"""
+        return bool(self._down)
+
+    def down_links(self) -> FrozenSet[str]:
+        """Ids of links currently administratively down."""
+        return frozenset(self._down)
+
     # ------------------------------------------------------------------
     # path enumeration
     # ------------------------------------------------------------------
@@ -200,7 +251,9 @@ class Topology:
             adj: List[List[Tuple[int, str]]] = [[] for _ in index]
             for src, links in self._out.items():
                 adj[index[src]] = [
-                    (index[link.dst], link.link_id) for link in links
+                    (index[link.dst], link.link_id)
+                    for link in links
+                    if link.link_id not in self._down
                 ]
             self._compact = (index, adj)
         return self._compact
@@ -287,6 +340,7 @@ class Topology:
         same = (
             list(self._nodes) == list(other._nodes)
             and list(self._links) == list(other._links)
+            and self._down == other._down
             and all(
                 (link.src, link.dst) == (o.src, o.dst)
                 for link_id, link in self._links.items()

@@ -68,6 +68,10 @@ class NetworkTelemetry(SimObserver):
             "mccs_flows_cancelled_total",
             "Flows torn down before completing (reconfig, background stop).",
         )
+        self._flows_failed = metrics.counter(
+            "mccs_flows_failed_total",
+            "Flows killed by injected faults (link down, host crash), by job.",
+        )
         self._bytes_total = metrics.counter(
             "mccs_bytes_moved_total", "Bytes fully delivered, by job."
         )
@@ -102,6 +106,10 @@ class NetworkTelemetry(SimObserver):
 
     def on_flow_cancelled(self, flow: Flow, now: float) -> None:
         self._flows_cancelled.inc(job=flow.job_id or "none")
+        self._active_flows.set(self.sim.active_flow_count())
+
+    def on_flow_failed(self, flow: Flow, now: float) -> None:
+        self._flows_failed.inc(job=flow.job_id or "none")
         self._active_flows.set(self.sim.active_flow_count())
 
     def on_flow_gated(self, flow: Flow, gated: bool, now: float) -> None:

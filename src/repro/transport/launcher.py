@@ -30,6 +30,7 @@ from ..collectives.tree import (
     tree_steps,
 )
 from ..collectives.types import Collective
+from ..netsim.errors import CollectiveTimeoutError, FaultError
 from ..netsim.flows import Flow
 from .connections import ConnectionTable
 
@@ -56,10 +57,17 @@ class LaunchHandle:
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     tags: Dict[str, object] = field(default_factory=dict)
+    #: First failure that killed this launch (flow failure or deadline);
+    #: the remaining flows were cancelled when it was set.
+    error: Optional[BaseException] = None
 
     @property
     def completed(self) -> bool:
-        return self.end_time is not None
+        return self.end_time is not None and self.error is None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def duration(self) -> float:
         """Wall time from issue to completion (includes fixed latency)."""
@@ -101,8 +109,16 @@ class FlowTransport:
         root: int = 0,
         on_complete: Optional[Callable[[LaunchHandle, float], None]] = None,
         tags: Optional[Dict[str, object]] = None,
+        on_fail: Optional[Callable[[LaunchHandle, float, BaseException], None]] = None,
+        deadline: Optional[float] = None,
     ) -> LaunchHandle:
-        """Issue a ring collective; returns immediately with a handle."""
+        """Issue a ring collective; returns immediately with a handle.
+
+        ``deadline`` (seconds from issue) arms a watchdog: if the launch
+        has not finished by then it fails with
+        :class:`CollectiveTimeoutError` and its flows are cancelled.
+        ``on_fail`` fires when any flow dies or the deadline expires.
+        """
         if channels < 1:
             raise ValueError("channels must be >= 1")
         world = schedule.world
@@ -130,7 +146,8 @@ class FlowTransport:
         ]
         steps = steps_for(kind, world)
         return self._launch(
-            kind, out_bytes, transfers, table, steps, job_id, on_complete, tags
+            kind, out_bytes, transfers, table, steps, job_id, on_complete,
+            tags, on_fail=on_fail, deadline=deadline,
         )
 
     def launch_double_tree(
@@ -143,6 +160,8 @@ class FlowTransport:
         job_id: Optional[str] = None,
         on_complete: Optional[Callable[[LaunchHandle, float], None]] = None,
         tags: Optional[Dict[str, object]] = None,
+        on_fail: Optional[Callable[[LaunchHandle, float, BaseException], None]] = None,
+        deadline: Optional[float] = None,
     ) -> LaunchHandle:
         """Issue an AllReduce over a double binary tree."""
         world = trees[0].world
@@ -174,6 +193,8 @@ class FlowTransport:
             job_id,
             on_complete,
             tags,
+            on_fail=on_fail,
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -187,6 +208,8 @@ class FlowTransport:
         job_id: Optional[str],
         on_complete: Optional[Callable[[LaunchHandle, float], None]],
         tags: Optional[Dict[str, object]],
+        on_fail: Optional[Callable[[LaunchHandle, float, BaseException], None]] = None,
+        deadline: Optional[float] = None,
     ) -> LaunchHandle:
         handle = LaunchHandle(
             launch_id=next(_launch_counter),
@@ -199,32 +222,64 @@ class FlowTransport:
         self.launches.append(handle)
         fixed = self.latency.collective_latency(steps)
 
+        def fail(error: BaseException) -> None:
+            """Kill the launch: one failed flow (or a blown deadline)
+            fails the whole collective, and the survivors are cancelled
+            so the handle settles instead of hanging."""
+            if handle.end_time is not None:
+                return
+            handle.error = error
+            handle.end_time = self.sim.now
+            for other in handle.flows:
+                self.sim.cancel_flow(other)
+            if on_fail is not None:
+                on_fail(handle, handle.end_time, error)
+
         def inject() -> None:
+            if handle.end_time is not None:
+                return  # deadline expired before injection
             handle.start_time = self.sim.now
-            for src, dst, channel, nbytes in transfers:
-                conn = table.connection(src, dst, channel)
-                flow = self.sim.add_flow(
-                    nbytes,
-                    conn.path,
-                    job_id=job_id,
-                    tags={
-                        "launch": handle.launch_id,
-                        "kind": kind.value,
-                        "channel": channel,
-                        **handle.tags,
-                    },
-                )
-                handle.flows.append(flow)
-                if self.gate is not None:
-                    self.gate.register(flow)
+            try:
+                for src, dst, channel, nbytes in transfers:
+                    conn = table.connection(src, dst, channel)
+                    flow = self.sim.add_flow(
+                        nbytes,
+                        conn.path,
+                        job_id=job_id,
+                        tags={
+                            "launch": handle.launch_id,
+                            "kind": kind.value,
+                            "channel": channel,
+                            **handle.tags,
+                        },
+                        on_fail=lambda _f, _t, err: fail(err),
+                    )
+                    handle.flows.append(flow)
+                    if self.gate is not None:
+                        self.gate.register(flow)
+            except FaultError as exc:
+                fail(exc)
+                return
 
             def finished(now: float) -> None:
+                if handle.end_time is not None:
+                    return
                 handle.end_time = now
                 if on_complete is not None:
                     on_complete(handle, now)
 
             self.sim.when_all(handle.flows, finished)
 
+        if deadline is not None:
+            self.sim.call_in(
+                deadline,
+                lambda: fail(
+                    CollectiveTimeoutError(
+                        f"launch {handle.launch_id} ({kind.value}, "
+                        f"{out_bytes:g}B) exceeded its {deadline:g}s deadline"
+                    )
+                ),
+            )
         if fixed > 0:
             self.sim.call_in(fixed, inject)
         else:

@@ -212,3 +212,126 @@ def test_rate_recomputations_count_matches_dirty_transitions():
         return sim.rate_recomputations
 
     assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# link churn: fail/degrade/restore is bit-identical across engine modes
+# ----------------------------------------------------------------------
+def diamond_topo(cap=8.0):
+    topo = Topology()
+    for node in ("a", "m1", "m2", "b"):
+        topo.add_node(node)
+    topo.add_link("a", "m1", cap)
+    topo.add_link("m1", "b", cap)
+    topo.add_link("a", "m2", cap)
+    topo.add_link("m2", "b", cap)
+    return topo
+
+
+def _churn_scenario(incremental):
+    """Flows through a diamond while one path flaps and one degrades."""
+    sim = FlowSimulator(diamond_topo(), incremental=incremental)
+    log = []
+    f1 = sim.add_flow(
+        16.0, ["a->m1", "m1->b"],
+        on_complete=lambda f, t: log.append(("done", f.flow_id, t)),
+        on_fail=lambda f, t, err: log.append(("fail", f.flow_id, t, str(err))),
+    )
+    f2 = sim.add_flow(
+        16.0, ["a->m2", "m2->b"],
+        on_complete=lambda f, t: log.append(("done", f.flow_id, t)),
+    )
+    late = []
+    sim.schedule(0.5, lambda: sim.fail_link("m1->b"))
+    sim.schedule(0.7, lambda: sim.set_link_capacity("a->m2", 4.0))
+    sim.schedule(0.9, lambda: sim.restore_link("m1->b"))
+
+    def relaunch():
+        late.append(
+            sim.add_flow(
+                8.0, ["a->m1", "m1->b"],
+                on_complete=lambda f, t: log.append(("done", f.flow_id, t)),
+            )
+        )
+
+    sim.schedule(0.9, relaunch)
+    sim.schedule(1.1, lambda: sim.set_link_capacity("a->m2", 8.0))
+    end = sim.run()
+    counters = sim.perf_counters()
+    return {
+        "log": tuple(log),
+        "end": end,
+        "f1": (f1.failed, f1.remaining, f1.end_time),
+        "f2": (f2.completed, f2.end_time),
+        "late": [(f.completed, f.end_time) for f in late],
+        "flows_failed": counters["flows_failed"],
+        "flows_completed": counters["flows_completed"],
+        "link_up": sim.link_is_up("m1->b"),
+    }
+
+
+def test_link_churn_identical_across_engines(monkeypatch):
+    legacy = _run_in_mode(monkeypatch, False, lambda: _churn_scenario(False))
+    incremental = _run_in_mode(monkeypatch, True, lambda: _churn_scenario(True))
+    assert legacy == incremental  # bit-identical, not just approximately
+    assert legacy["flows_failed"] == 1
+    assert legacy["f1"][0] and legacy["f2"][0]
+    assert legacy["link_up"]
+
+
+def test_fault_recovery_timeline_identical_across_engines(monkeypatch):
+    """A full deployment-level failover replays identically in both modes."""
+    import numpy as np
+
+    from repro.cluster.specs import testbed_cluster
+    from repro.core.controller import CentralManager
+    from repro.core.deployment import MccsDeployment
+    from repro.core.recovery import RecoveryPolicy
+    from repro.faults import FaultInjector
+
+    def scenario():
+        cluster = testbed_cluster()
+        deployment = MccsDeployment(cluster)
+        recovery = deployment.enable_recovery(
+            RecoveryPolicy(collective_deadline=0.25), heartbeat_until=1.0
+        )
+        manager = CentralManager(deployment)
+        gpus = [cluster.hosts[h].gpus[0] for h in range(4)]
+        state = manager.admit("A", gpus)
+        client = deployment.connect("A")
+        comm = client.adopt_communicator(state.comm_id)
+        injector = FaultInjector(cluster, deployment=deployment)
+
+        def strike():
+            links = sorted(
+                {
+                    link
+                    for flow in cluster.sim.active_flows()
+                    for link in flow.links
+                    if "spine" in link
+                }
+            )
+            injector.fail_link(links[0])
+            cluster.sim.call_in(0.05, lambda: injector.restore_link(links[0]))
+
+        cluster.sim.call_in(0.004, strike)
+        sends = [client.alloc(g, 256) for g in gpus]
+        recvs = [client.alloc(g, 256) for g in gpus]
+        for buf in sends:
+            buf.view(np.float32)[:] = 2.0
+        big = client.all_reduce(comm, 64 * 1024 * 1024)
+        small = client.all_reduce(comm, 256, send=sends, recv=recvs)
+        deployment.run()
+        assert big.completed and small.completed
+        assert all(np.allclose(r.view(np.float32), 8.0) for r in recvs)
+        return (
+            big.instance.end_time,
+            small.instance.end_time,
+            big.instance.attempts,
+            tuple((e["time"], e["event"]) for e in recovery.audit),
+        )
+
+    legacy = _run_in_mode(monkeypatch, False, scenario)
+    incremental = _run_in_mode(monkeypatch, True, scenario)
+    assert legacy == incremental
+    assert legacy[2] >= 2  # the big collective really was retried

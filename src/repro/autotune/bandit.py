@@ -1,0 +1,180 @@
+"""Bounded-exploration bandits over strategy arms.
+
+Arms are runtime strategy signatures; rewards are *costs* (measured
+collective durations, lower is better).  Both policies spend a bounded
+exploration budget and then turn purely greedy, so a tenant is never
+subjected to unbounded experimentation: every exploratory pull is one
+collective executed under a possibly-suboptimal (but always correct)
+strategy.
+
+* :class:`EpsilonGreedy` — explore uniformly at random with probability
+  ``epsilon`` while budget remains;
+* :class:`UcbBandit` — optimistic lower-confidence-bound selection
+  (UCB1 adapted to cost minimization), scale-free via the running mean.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+
+@dataclass
+class ArmStats:
+    pulls: int = 0
+    total_cost: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total_cost / self.pulls if self.pulls else math.inf
+
+    def observe(self, cost: float) -> None:
+        self.pulls += 1
+        self.total_cost += cost
+
+
+@dataclass
+class BanditState:
+    """Shared bookkeeping: per-arm stats + the exploration ledger."""
+
+    arms: Dict[Hashable, ArmStats] = field(default_factory=dict)
+    exploration_spent: int = 0
+    total_pulls: int = 0
+
+    def stats(self, arm: Hashable) -> ArmStats:
+        stats = self.arms.get(arm)
+        if stats is None:
+            stats = self.arms[arm] = ArmStats()
+        return stats
+
+
+class CostBandit:
+    """Base class: arm registration, observation, greedy choice."""
+
+    def __init__(self, *, exploration_budget: int = 16) -> None:
+        if exploration_budget < 0:
+            raise ValueError("exploration_budget must be non-negative")
+        self.exploration_budget = exploration_budget
+        self.state = BanditState()
+
+    # -- shared plumbing -------------------------------------------------
+    def observe(self, arm: Hashable, cost: float) -> None:
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.state.stats(arm).observe(cost)
+        self.state.total_pulls += 1
+
+    def mean(self, arm: Hashable) -> Optional[float]:
+        stats = self.state.arms.get(arm)
+        if stats is None or stats.pulls == 0:
+            return None
+        return stats.mean
+
+    def best_arm(self, arms: Sequence[Hashable]) -> Hashable:
+        """Pure exploitation: lowest observed mean (unpulled arms last)."""
+        return min(arms, key=lambda a: (self.state.stats(a).mean, str(a)))
+
+    def _unpulled(self, arms: Sequence[Hashable]) -> List[Hashable]:
+        return [a for a in arms if self.state.stats(a).pulls == 0]
+
+    @property
+    def exploration_exhausted(self) -> bool:
+        return self.state.exploration_spent >= self.exploration_budget
+
+    def _spend_exploration(self) -> None:
+        self.state.exploration_spent += 1
+
+    def select(self, arms: Sequence[Hashable]) -> Hashable:
+        raise NotImplementedError
+
+
+class EpsilonGreedy(CostBandit):
+    """Classic epsilon-greedy with a deterministic seed and a budget."""
+
+    def __init__(
+        self,
+        *,
+        epsilon: float = 0.2,
+        exploration_budget: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(exploration_budget=exploration_budget)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self._rng = random.Random(seed)
+
+    def select(self, arms: Sequence[Hashable]) -> Hashable:
+        if not arms:
+            raise ValueError("no arms to select from")
+        unpulled = self._unpulled(arms)
+        if unpulled and not self.exploration_exhausted:
+            self._spend_exploration()
+            return unpulled[0]
+        if (
+            not self.exploration_exhausted
+            and self._rng.random() < self.epsilon
+        ):
+            self._spend_exploration()
+            return arms[self._rng.randrange(len(arms))]
+        return self.best_arm(arms)
+
+
+class UcbBandit(CostBandit):
+    """UCB1 for costs: pick the arm with the lowest optimistic bound.
+
+    The confidence width is scaled by the arm's own mean so the policy is
+    invariant to the absolute duration scale (microseconds vs seconds).
+    """
+
+    def __init__(
+        self, *, c: float = 0.5, exploration_budget: int = 32
+    ) -> None:
+        super().__init__(exploration_budget=exploration_budget)
+        if c < 0:
+            raise ValueError("c must be non-negative")
+        self.c = c
+
+    def select(self, arms: Sequence[Hashable]) -> Hashable:
+        if not arms:
+            raise ValueError("no arms to select from")
+        unpulled = self._unpulled(arms)
+        if unpulled and not self.exploration_exhausted:
+            self._spend_exploration()
+            return unpulled[0]
+        if self.exploration_exhausted:
+            return self.best_arm(arms)
+        total = max(1, self.state.total_pulls)
+
+        def bound(arm: Hashable) -> float:
+            stats = self.state.stats(arm)
+            if stats.pulls == 0:
+                return -math.inf  # optimism for never-tried arms
+            width = self.c * stats.mean * math.sqrt(
+                2.0 * math.log(total) / stats.pulls
+            )
+            return stats.mean - width
+
+        choice = min(arms, key=lambda a: (bound(a), str(a)))
+        if choice != self.best_arm(arms):
+            self._spend_exploration()
+        return choice
+
+
+def make_bandit(
+    policy: str,
+    *,
+    epsilon: float = 0.2,
+    ucb_c: float = 0.5,
+    exploration_budget: int = 16,
+    seed: int = 0,
+) -> CostBandit:
+    if policy == "epsilon":
+        return EpsilonGreedy(
+            epsilon=epsilon, exploration_budget=exploration_budget, seed=seed
+        )
+    if policy == "ucb":
+        return UcbBandit(c=ucb_c, exploration_budget=exploration_budget)
+    raise ValueError(f"unknown bandit policy {policy!r}; use 'epsilon' or 'ucb'")

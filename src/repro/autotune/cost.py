@@ -1,0 +1,181 @@
+"""Topology-aware cost estimation for candidate collective strategies.
+
+The planner scores candidates with the classic alpha-beta model *plus*
+bottleneck terms derived from the actual placement: per-NIC egress/ingress
+load, per-rack spine-uplink load (where the testbed's 2:1 oversubscription
+bites), and the intra-host channel.  Traffic comes from the same per-pair
+byte models the fluid simulator is validated against
+(:func:`~repro.collectives.ring.edge_traffic`,
+:func:`~repro.collectives.tree.double_tree_allreduce_traffic`,
+:func:`~repro.collectives.halving_doubling.halving_doubling_traffic`), so
+the estimates rank candidates the way the network actually treats them.
+
+Chunking enters through the pipelined closed form
+
+    ``T_net = (steps + chunks - 1) * (T_bottleneck / (steps * chunks)
+              + per_step)``
+
+which reduces to ``T_bottleneck + steps * per_step`` for one chunk and
+exposes a genuine optimum: more chunks overlap the pipeline stages but pay
+``per_step`` each.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from ..cluster.gpu import GpuDevice
+from ..cluster.specs import Cluster
+from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
+from ..collectives.halving_doubling import halving_doubling_traffic, is_power_of_two
+from ..collectives.ring import edge_traffic
+from ..collectives.tree import double_binary_trees, double_tree_allreduce_traffic
+from ..collectives.types import Collective
+from ..netsim.units import gBps, gbps
+
+#: Bytes per directed (src_rank, dst_rank) pair for one collective.
+PairTraffic = Dict[Tuple[int, int], float]
+
+
+def topology_fingerprint(cluster: Cluster, gpus: Sequence[GpuDevice]) -> str:
+    """Stable key describing fabric + placement *shape* (not identity).
+
+    Two placements with the same per-host GPU counts on the same fabric
+    share tuning-table entries; moving a job to differently-shaped hosts
+    (or another fabric) invalidates them.
+    """
+    spec = cluster.fabric.spec
+    per_host: Dict[int, int] = {}
+    for gpu in gpus:
+        per_host[gpu.host_id] = per_host.get(gpu.host_id, 0) + 1
+    shape = "x".join(str(per_host[h]) for h in sorted(per_host))
+    racks = {cluster.rack_of(gpu) for gpu in gpus}
+    return (
+        f"{spec.name}/spines{spec.num_spines}@{spec.fabric_gbps:g}g"
+        f"/nic{spec.nic_gbps:g}g/hosts{len(per_host)}[{shape}]"
+        f"/racks{len(racks)}"
+    )
+
+
+def pair_traffic(
+    algorithm: str,
+    kind: Collective,
+    order: Sequence[int],
+    out_bytes: float,
+) -> PairTraffic:
+    """Per-(src_rank, dst_rank) bytes of one collective under ``algorithm``.
+
+    Mirrors the fallback rules of the registered algorithms: ``tree`` and
+    ``halving_doubling`` only specialize AllReduce (the latter only on
+    power-of-two worlds); everything else is the ring.
+    """
+    order = list(order)
+    world = len(order)
+    if algorithm == "tree" and kind is Collective.ALL_REDUCE:
+        return double_tree_allreduce_traffic(
+            double_binary_trees(order), out_bytes
+        )
+    if (
+        algorithm == "halving_doubling"
+        and kind is Collective.ALL_REDUCE
+        and is_power_of_two(world)
+    ):
+        return halving_doubling_traffic(order, out_bytes)
+    per_edge = edge_traffic(kind, out_bytes, world, 0)
+    traffic: PairTraffic = {}
+    for pos in range(world):
+        nbytes = per_edge[pos]
+        if nbytes <= 0:
+            continue
+        pair = (order[pos], order[(pos + 1) % world])
+        traffic[pair] = traffic.get(pair, 0.0) + nbytes
+    return traffic
+
+
+def bottleneck_seconds(
+    cluster: Cluster,
+    gpus: Sequence[GpuDevice],
+    traffic: PairTraffic,
+    channels: int,
+) -> float:
+    """Serial transfer time of the most loaded resource on the placement.
+
+    Considers per-NIC egress and ingress (bytes split over the channel->NIC
+    rotation), per-rack spine uplink/downlink aggregate (``num_spines *
+    fabric_gbps`` per leaf — the oversubscription bottleneck), and the
+    intra-host channel for co-located pairs.
+    """
+    spec = cluster.fabric.spec
+    nic_bw = gbps(spec.nic_gbps)
+    uplink_bw = spec.num_spines * gbps(spec.fabric_gbps)
+    local_bw = gBps(spec.local_gBps)
+
+    nic_out: Dict[str, float] = {}
+    nic_in: Dict[str, float] = {}
+    rack_out: Dict[int, float] = {}
+    rack_in: Dict[int, float] = {}
+    local: Dict[int, float] = {}
+    for (src_rank, dst_rank), nbytes in traffic.items():
+        src, dst = gpus[src_rank], gpus[dst_rank]
+        if src.host_id == dst.host_id:
+            local[src.host_id] = local.get(src.host_id, 0.0) + nbytes
+            continue
+        per_channel = nbytes / channels
+        for channel in range(channels):
+            src_nic = cluster.nic_of_channel(src, channel)
+            dst_nic = cluster.nic_of_channel(dst, channel)
+            nic_out[src_nic] = nic_out.get(src_nic, 0.0) + per_channel
+            nic_in[dst_nic] = nic_in.get(dst_nic, 0.0) + per_channel
+        src_rack, dst_rack = cluster.rack_of(src), cluster.rack_of(dst)
+        if src_rack != dst_rack:
+            rack_out[src_rack] = rack_out.get(src_rack, 0.0) + nbytes
+            rack_in[dst_rack] = rack_in.get(dst_rack, 0.0) + nbytes
+
+    worst = 0.0
+    for load in list(nic_out.values()) + list(nic_in.values()):
+        worst = max(worst, load / nic_bw)
+    for load in list(rack_out.values()) + list(rack_in.values()):
+        worst = max(worst, load / uplink_bw)
+    for load in local.values():
+        worst = max(worst, load / local_bw)
+    return worst
+
+
+def pipelined_seconds(
+    bottleneck: float, steps: int, chunks: int, per_step: float
+) -> float:
+    """The pipelined closed form (see module docstring)."""
+    if steps <= 0:
+        return 0.0
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    return (steps + chunks - 1) * (
+        bottleneck / (steps * chunks) + per_step
+    )
+
+
+def estimate_seconds(
+    cluster: Cluster,
+    gpus: Sequence[GpuDevice],
+    kind: Collective,
+    out_bytes: int,
+    *,
+    algorithm: str,
+    channels: int,
+    ring: Sequence[int],
+    chunk_bytes: int,
+    latency: LatencyModel = MCCS_LATENCY,
+) -> float:
+    """Predicted completion time of one collective under a candidate."""
+    from ..core.algorithms import get_algorithm
+
+    steps = get_algorithm(algorithm).steps(kind, len(gpus))
+    traffic = pair_traffic(algorithm, kind, ring, out_bytes)
+    bottleneck = bottleneck_seconds(cluster, gpus, traffic, channels)
+    chunks = max(1, math.ceil(out_bytes / max(1, chunk_bytes)))
+    return (
+        latency.base
+        + latency.datapath
+        + pipelined_seconds(bottleneck, steps, chunks, latency.per_step)
+    )

@@ -1,0 +1,234 @@
+"""The offline strategy planner.
+
+Enumerates candidate :class:`~repro.core.strategy.CollectiveStrategy`
+configurations — algorithm family (every registry entry, including
+``halving_doubling``), channel count, ring order, chunk size — and scores
+each with :func:`repro.autotune.cost.estimate_seconds`.  The output is
+either a ranked candidate list (seeding the online bandit's arms) or a
+persistable :class:`~repro.autotune.table.TuningTable` covering a sweep of
+(kind, size) cells.
+
+Chunk size is a *planning* dimension: the fluid simulator's runtime cost
+does not depend on it, so candidates sharing a runtime signature
+``(algorithm, channels, ring)`` are collapsed to their cheapest chunking
+before ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.gpu import GpuDevice
+from ..cluster.specs import Cluster
+from ..collectives.cost_model import LatencyModel, MCCS_LATENCY
+from ..collectives.halving_doubling import is_power_of_two
+from ..collectives.types import Collective
+from ..core.policies.ring_order import locality_ring_order
+from ..netsim.units import KB
+from ..telemetry.metrics import MetricsRegistry
+from .cost import estimate_seconds, topology_fingerprint
+from .table import TableEntry, TableKey, TuningTable, size_bucket
+
+#: Runtime-distinguishable part of a candidate: what a reconfiguration can
+#: actually install and what a measurement can be attributed to.
+Signature = Tuple[str, int, Tuple[int, ...]]
+
+DEFAULT_CHANNEL_OPTIONS = (1, 2)
+DEFAULT_CHUNK_OPTIONS = (64 * KB, 256 * KB, 1024 * KB)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the planner's search space."""
+
+    algorithm: str
+    channels: int
+    ring: Tuple[int, ...]
+    ring_label: str
+    chunk_bytes: int
+
+    def signature(self) -> Signature:
+        return (self.algorithm, self.channels, self.ring)
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    candidate: Candidate
+    predicted_seconds: float
+
+
+class StrategyPlanner:
+    """Enumerates and scores candidate strategies for one cluster.
+
+    Args:
+        cluster: Fabric + placement the estimates are computed against.
+        latency: Fixed-overhead model (must match the deployment's so
+            predicted and measured times are on the same scale).
+        channel_options: Channel counts to consider.
+        chunk_options: Chunk sizes (bytes) to consider; collapsed per
+            runtime signature.
+        metrics: Optional registry receiving
+            ``mccs_autotune_plans_evaluated_total``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        latency: LatencyModel = MCCS_LATENCY,
+        channel_options: Sequence[int] = DEFAULT_CHANNEL_OPTIONS,
+        chunk_options: Sequence[int] = DEFAULT_CHUNK_OPTIONS,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not channel_options or any(c < 1 for c in channel_options):
+            raise ValueError("channel_options must be positive channel counts")
+        if not chunk_options or any(c < 1 for c in chunk_options):
+            raise ValueError("chunk_options must be positive byte counts")
+        self.cluster = cluster
+        self.latency = latency
+        self.channel_options = tuple(channel_options)
+        self.chunk_options = tuple(sorted(chunk_options))
+        self.metrics = metrics
+        self.plans_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # candidate space
+    # ------------------------------------------------------------------
+    def ring_orders(
+        self, gpus: Sequence[GpuDevice]
+    ) -> Dict[str, Tuple[int, ...]]:
+        """Named ring orders worth considering for this placement."""
+        world = len(gpus)
+        orders: Dict[str, Tuple[int, ...]] = {
+            "rank_order": tuple(range(world))
+        }
+        locality = tuple(locality_ring_order(self.cluster, gpus))
+        if locality not in orders.values():
+            orders["locality"] = locality
+        return orders
+
+    def algorithms(self, kind: Collective, world: int) -> List[str]:
+        """Registry algorithms that do not just alias the ring here."""
+        from ..core.algorithms import registered_algorithms
+
+        names = ["ring"]
+        if kind is Collective.ALL_REDUCE:
+            for name in registered_algorithms():
+                if name == "ring":
+                    continue
+                if name == "halving_doubling" and not is_power_of_two(world):
+                    continue
+                names.append(name)
+        return names
+
+    def candidates(
+        self, kind: Collective, gpus: Sequence[GpuDevice]
+    ) -> List[Candidate]:
+        out: List[Candidate] = []
+        for algorithm in self.algorithms(kind, len(gpus)):
+            for channels in self.channel_options:
+                for label, ring in sorted(self.ring_orders(gpus).items()):
+                    for chunk_bytes in self.chunk_options:
+                        out.append(
+                            Candidate(
+                                algorithm=algorithm,
+                                channels=channels,
+                                ring=ring,
+                                ring_label=label,
+                                chunk_bytes=chunk_bytes,
+                            )
+                        )
+        return out
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def plan(
+        self, kind: Collective, out_bytes: int, gpus: Sequence[GpuDevice]
+    ) -> List[ScoredCandidate]:
+        """Score every candidate, collapse chunking per runtime signature,
+        and return the survivors cheapest-first."""
+        best_by_signature: Dict[Signature, ScoredCandidate] = {}
+        evaluated = 0
+        for candidate in self.candidates(kind, gpus):
+            predicted = estimate_seconds(
+                self.cluster,
+                gpus,
+                kind,
+                out_bytes,
+                algorithm=candidate.algorithm,
+                channels=candidate.channels,
+                ring=candidate.ring,
+                chunk_bytes=candidate.chunk_bytes,
+                latency=self.latency,
+            )
+            evaluated += 1
+            signature = candidate.signature()
+            current = best_by_signature.get(signature)
+            if current is None or predicted < current.predicted_seconds:
+                best_by_signature[signature] = ScoredCandidate(
+                    candidate=candidate, predicted_seconds=predicted
+                )
+        self.plans_evaluated += evaluated
+        if self.metrics is not None:
+            self.metrics.counter(
+                "mccs_autotune_plans_evaluated_total",
+                "Candidate strategies scored by the autotune planner.",
+            ).inc(evaluated, kind=kind.value)
+        return sorted(
+            best_by_signature.values(), key=lambda s: s.predicted_seconds
+        )
+
+    def best(
+        self, kind: Collective, out_bytes: int, gpus: Sequence[GpuDevice]
+    ) -> ScoredCandidate:
+        return self.plan(kind, out_bytes, gpus)[0]
+
+    # ------------------------------------------------------------------
+    # offline table construction
+    # ------------------------------------------------------------------
+    def build_table(
+        self,
+        gpus: Sequence[GpuDevice],
+        *,
+        kinds: Sequence[Collective],
+        sizes: Sequence[int],
+        table: Optional[TuningTable] = None,
+    ) -> TuningTable:
+        """Plan a (kind, size) sweep into a persistable tuning table.
+
+        Sizes landing in the same power-of-two bucket are planned once at
+        the largest representative.
+        """
+        if table is None:
+            table = TuningTable()
+        fingerprint = topology_fingerprint(self.cluster, gpus)
+        world = len(gpus)
+        for kind in kinds:
+            representatives: Dict[int, int] = {}
+            for size in sizes:
+                bucket = size_bucket(size)
+                representatives[bucket] = max(
+                    representatives.get(bucket, 0), size
+                )
+            for bucket, size in sorted(representatives.items()):
+                ranked = self.plan(kind, size, gpus)
+                winner = ranked[0]
+                table.put(
+                    TableKey(
+                        kind=kind.value,
+                        world=world,
+                        bucket=bucket,
+                        fingerprint=fingerprint,
+                    ),
+                    TableEntry(
+                        algorithm=winner.candidate.algorithm,
+                        channels=winner.candidate.channels,
+                        ring=winner.candidate.ring,
+                        chunk_bytes=winner.candidate.chunk_bytes,
+                        predicted_seconds=winner.predicted_seconds,
+                        candidates_evaluated=len(ranked),
+                    ),
+                )
+        return table

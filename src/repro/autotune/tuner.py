@@ -1,0 +1,399 @@
+"""The online autotuner: measurement-driven strategy selection.
+
+The tuner subscribes to every finished collective (via
+:meth:`ServiceCommunicator.add_completion_listener`), attributes the
+measured duration to the strategy signature that executed it (through
+``instance.rank_versions`` and the communicator's ``strategy_history``),
+and feeds a bounded-exploration bandit per ``(kind, world, size-bucket)``.
+When the bandit's choice differs from the communicator's current strategy,
+the tuner applies the change **live through the §4.2 reconfiguration
+barrier** — ``barrier_enabled=True``, always — so the tenant is never
+interrupted and co-tenants see zero blast radius.
+
+Arms are seeded from the offline planner's ranked candidates and, when
+available, the persisted tuning table (hits/misses are surfaced as
+``mccs_autotune_table_{hits,misses}_total``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..collectives.types import Collective
+from ..netsim.errors import ReconfigurationError
+from .bandit import CostBandit, make_bandit
+from .cost import topology_fingerprint
+from .planner import Signature, StrategyPlanner
+from .table import TableEntry, TableKey, TuningTable, size_bucket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
+    from ..core.communicator import CollectiveInstance, ServiceCommunicator
+    from ..core.deployment import MccsDeployment
+
+#: One bandit instance per (collective kind, world size, size bucket).
+BucketKey = Tuple[str, int, int]
+
+
+@dataclass
+class AutotuneConfig:
+    """Knobs of the online tuner.
+
+    Attributes:
+        policy: ``"ucb"`` or ``"epsilon"`` (see :mod:`repro.autotune.bandit`).
+        epsilon: Exploration probability for the epsilon-greedy policy.
+        ucb_c: Confidence-width scale for the UCB policy.
+        exploration_budget: Maximum exploratory pulls per bucket; after
+            the budget is spent the bandit is purely greedy (bounded
+            exploration — the tenant is never experimented on forever).
+        max_arms: Planner candidates admitted as arms per bucket.
+        min_observations: Measurements a bucket needs before its first
+            retune may be issued.
+        cooldown: Completed collectives between consecutive retunes of the
+            same communicator.
+        seed: Deterministic seed for the epsilon-greedy RNG.
+        use_table: Consult (and grow) the tuning table when seeding arms.
+    """
+
+    policy: str = "ucb"
+    epsilon: float = 0.2
+    ucb_c: float = 0.5
+    exploration_budget: int = 12
+    max_arms: int = 6
+    min_observations: int = 1
+    cooldown: int = 1
+    seed: int = 0
+    use_table: bool = True
+
+
+@dataclass
+class _ArmSpec:
+    """What a reconfiguration must install to run one arm."""
+
+    algorithm: str
+    channels: int
+    ring: Tuple[int, ...]
+    predicted_seconds: float = 0.0
+
+
+@dataclass
+class _BucketState:
+    bandit: CostBandit
+    arms: Dict[Signature, _ArmSpec] = field(default_factory=dict)
+    observations: int = 0
+    baseline: Optional[Signature] = None
+
+
+@dataclass
+class _CommState:
+    comm: "ServiceCommunicator"
+    fingerprint: str
+    buckets: Dict[BucketKey, _BucketState] = field(default_factory=dict)
+    retune_inflight: bool = False
+    since_retune: int = 0
+    retunes_applied: int = 0
+
+
+class AutoTuner:
+    """Per-deployment online tuner; attach communicators to start tuning."""
+
+    def __init__(
+        self,
+        deployment: "MccsDeployment",
+        *,
+        config: Optional[AutotuneConfig] = None,
+        planner: Optional[StrategyPlanner] = None,
+        table: Optional[TuningTable] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.config = config if config is not None else AutotuneConfig()
+        self.metrics = deployment.telemetry().metrics
+        self.planner = (
+            planner
+            if planner is not None
+            else StrategyPlanner(
+                deployment.cluster,
+                latency=deployment.latency,
+                metrics=self.metrics,
+            )
+        )
+        self.table = table if table is not None else TuningTable()
+        self._states: Dict[int, _CommState] = {}
+
+        self._observations = self.metrics.counter(
+            "mccs_autotune_observations_total",
+            "Measured collective durations fed to the autotuner, by comm.",
+        )
+        self._retunes_applied = self.metrics.counter(
+            "mccs_autotune_retunes_applied_total",
+            "Strategy changes applied live through the reconfiguration "
+            "barrier, by comm and target algorithm.",
+        )
+        self._retunes_failed = self.metrics.counter(
+            "mccs_autotune_retunes_failed_total",
+            "Autotuner reconfigurations that failed or were rejected.",
+        )
+        self._table_hits = self.metrics.counter(
+            "mccs_autotune_table_hits_total",
+            "Tuning-table lookups that found a planned entry.",
+        )
+        self._table_misses = self.metrics.counter(
+            "mccs_autotune_table_misses_total",
+            "Tuning-table lookups that fell back to online planning.",
+        )
+        self._gain = self.metrics.gauge(
+            "mccs_autotune_gain_seconds",
+            "Per-bucket estimated gain: baseline arm mean minus best arm "
+            "mean (positive = tuner found a faster strategy).",
+        )
+        self._regret = self.metrics.counter(
+            "mccs_autotune_regret_seconds_total",
+            "Cumulative estimated regret: observed duration minus the "
+            "bucket's best known mean, by comm.",
+        )
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, comm: "ServiceCommunicator") -> None:
+        """Start tuning ``comm`` (idempotent)."""
+        if comm.comm_id in self._states:
+            return
+        state = _CommState(
+            comm=comm,
+            fingerprint=topology_fingerprint(
+                self.deployment.cluster, comm.gpus
+            ),
+        )
+        self._states[comm.comm_id] = state
+        comm.add_completion_listener(
+            lambda instance, state=state: self._observe(state, instance)
+        )
+
+    def attached_comms(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._states))
+
+    def retunes_applied(self, comm_id: Optional[int] = None) -> int:
+        if comm_id is not None:
+            state = self._states.get(comm_id)
+            return state.retunes_applied if state else 0
+        return sum(s.retunes_applied for s in self._states.values())
+
+    # ------------------------------------------------------------------
+    # measurement path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _signature_of(strategy) -> Signature:
+        return (
+            strategy.algorithm,
+            strategy.channels,
+            tuple(strategy.ring.order),
+        )
+
+    def _bucket_key(self, instance: "CollectiveInstance") -> BucketKey:
+        return (
+            instance.kind.value,
+            instance.world,
+            size_bucket(instance.out_bytes),
+        )
+
+    def _ensure_bucket(
+        self, state: _CommState, instance: "CollectiveInstance"
+    ) -> _BucketState:
+        key = self._bucket_key(instance)
+        bucket = state.buckets.get(key)
+        if bucket is not None:
+            return bucket
+        cfg = self.config
+        bucket = _BucketState(
+            bandit=make_bandit(
+                cfg.policy,
+                epsilon=cfg.epsilon,
+                ucb_c=cfg.ucb_c,
+                exploration_budget=cfg.exploration_budget,
+                seed=cfg.seed + len(state.buckets),
+            )
+        )
+        state.buckets[key] = bucket
+
+        # Seed arms: planner ranking first, then the table's pick (if any),
+        # and always the strategy currently running on the communicator.
+        ranked = self.planner.plan(
+            instance.kind, instance.out_bytes, state.comm.gpus
+        )
+        for scored in ranked[: cfg.max_arms]:
+            candidate = scored.candidate
+            bucket.arms[candidate.signature()] = _ArmSpec(
+                algorithm=candidate.algorithm,
+                channels=candidate.channels,
+                ring=candidate.ring,
+                predicted_seconds=scored.predicted_seconds,
+            )
+        if cfg.use_table:
+            entry = self.table.lookup(
+                instance.kind.value,
+                instance.world,
+                instance.out_bytes,
+                state.fingerprint,
+            )
+            if entry is not None:
+                self._table_hits.inc(comm=f"comm{state.comm.comm_id}")
+                bucket.arms.setdefault(
+                    entry.signature(),
+                    _ArmSpec(
+                        algorithm=entry.algorithm,
+                        channels=entry.channels,
+                        ring=entry.ring,
+                        predicted_seconds=entry.predicted_seconds,
+                    ),
+                )
+            else:
+                self._table_misses.inc(comm=f"comm{state.comm.comm_id}")
+                winner = ranked[0]
+                self.table.put(
+                    TableKey(
+                        kind=instance.kind.value,
+                        world=instance.world,
+                        bucket=size_bucket(instance.out_bytes),
+                        fingerprint=state.fingerprint,
+                    ),
+                    TableEntry(
+                        algorithm=winner.candidate.algorithm,
+                        channels=winner.candidate.channels,
+                        ring=winner.candidate.ring,
+                        chunk_bytes=winner.candidate.chunk_bytes,
+                        predicted_seconds=winner.predicted_seconds,
+                        candidates_evaluated=len(ranked),
+                    ),
+                )
+        current = self._signature_of(state.comm.strategy)
+        bucket.arms.setdefault(
+            current,
+            _ArmSpec(
+                algorithm=state.comm.strategy.algorithm,
+                channels=state.comm.strategy.channels,
+                ring=tuple(state.comm.strategy.ring.order),
+            ),
+        )
+        return bucket
+
+    def _observe(
+        self, state: _CommState, instance: "CollectiveInstance"
+    ) -> None:
+        if instance.aborted or instance.end_time is None:
+            return
+        if not instance.consistent or not instance.rank_versions:
+            return
+        version = next(iter(instance.rank_versions.values()))
+        strategy = state.comm.strategy_history.get(version)
+        if strategy is None:
+            return
+        duration = instance.duration()
+        bucket = self._ensure_bucket(state, instance)
+        signature = self._signature_of(strategy)
+        bucket.arms.setdefault(
+            signature,
+            _ArmSpec(
+                algorithm=strategy.algorithm,
+                channels=strategy.channels,
+                ring=tuple(strategy.ring.order),
+            ),
+        )
+        if bucket.baseline is None:
+            bucket.baseline = signature
+        bucket.bandit.observe(signature, duration)
+        bucket.observations += 1
+        state.since_retune += 1
+        comm_label = f"comm{state.comm.comm_id}"
+        self._observations.inc(comm=comm_label)
+        self._publish_estimates(state, bucket, duration, comm_label)
+        self._maybe_retune(state, instance, bucket)
+
+    def _publish_estimates(
+        self,
+        state: _CommState,
+        bucket: _BucketState,
+        duration: float,
+        comm_label: str,
+    ) -> None:
+        arms = list(bucket.arms)
+        best = bucket.bandit.best_arm(arms)
+        best_mean = bucket.bandit.mean(best)
+        if best_mean is None:
+            return
+        self._regret.inc(max(0.0, duration - best_mean), comm=comm_label)
+        if bucket.baseline is not None:
+            baseline_mean = bucket.bandit.mean(bucket.baseline)
+            if baseline_mean is not None:
+                key = next(
+                    k for k, b in state.buckets.items() if b is bucket
+                )
+                self._gain.set(
+                    baseline_mean - best_mean,
+                    comm=comm_label,
+                    bucket=f"{key[0]}/2^{key[2]}",
+                )
+
+    # ------------------------------------------------------------------
+    # retuning through the barrier
+    # ------------------------------------------------------------------
+    def _maybe_retune(
+        self,
+        state: _CommState,
+        instance: "CollectiveInstance",
+        bucket: _BucketState,
+    ) -> None:
+        cfg = self.config
+        if state.retune_inflight:
+            return
+        if bucket.observations < cfg.min_observations:
+            return
+        if state.since_retune < cfg.cooldown:
+            return
+        choice = bucket.bandit.select(list(bucket.arms))
+        current = self._signature_of(state.comm.strategy)
+        if choice == current:
+            return
+        self._retune(state, bucket.arms[choice])
+
+    def _retune(self, state: _CommState, spec: _ArmSpec) -> None:
+        comm = state.comm
+        # Route pins are keyed (src, dst, channel); shrinking the channel
+        # count would orphan high-channel pins, so clear them and let the
+        # controller's flow policy re-pin on the new shape.
+        routes = (
+            {}
+            if spec.channels < comm.strategy.channels
+            and comm.strategy.route_ids
+            else None
+        )
+
+        def done(session) -> None:
+            state.retune_inflight = False
+            state.since_retune = 0
+            state.retunes_applied += 1
+            self._retunes_applied.inc(
+                comm=f"comm{comm.comm_id}", algorithm=spec.algorithm
+            )
+
+        def failed(session) -> None:
+            state.retune_inflight = False
+            self._retunes_failed.inc(comm=f"comm{comm.comm_id}")
+
+        state.retune_inflight = True
+        try:
+            self.deployment.reconfigure(
+                comm.comm_id,
+                ring=spec.ring,
+                channels=spec.channels,
+                algorithm=spec.algorithm,
+                barrier_enabled=True,  # §4.2: never bypass the barrier
+                routes=routes,
+                on_done=done,
+                on_failed=failed,
+            )
+        except ReconfigurationError:
+            # Another controller policy is mid-reconfiguration on this
+            # communicator; skip this round and try again later.
+            state.retune_inflight = False
+            self._retunes_failed.inc(comm=f"comm{comm.comm_id}")

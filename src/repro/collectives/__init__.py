@@ -1,20 +1,30 @@
-"""Collective algorithms: ring and tree schedules, data planes, costs.
+"""Collective algorithms: ring, tree and butterfly schedules, data planes,
+costs.
 
-The data planes move real numpy bytes between ring/tree neighbours (so
-correctness is testable bit-for-bit); the traffic models predict per-edge
-byte counts that the fluid network simulator turns into completion times.
+The data planes move real numpy bytes between ring/tree/butterfly peers
+(so correctness is testable bit-for-bit); the traffic models predict
+per-edge byte counts that the fluid network simulator turns into
+completion times.
 """
 
 from .bandwidth import algorithm_bandwidth, bus_bandwidth, busbw_factor
 from .chunking import chunk_bounds, chunk_for_step, ring_neighbors
 from .cost_model import (
+    DEFAULT_DATAPATH_LATENCY,
     LatencyModel,
     MCCS_LATENCY,
     NCCL_LATENCY,
     effective_bandwidth,
+    mccs_latency,
     ring_allreduce_cost,
     select_ring_or_tree,
     tree_allreduce_cost,
+)
+from .halving_doubling import (
+    HalvingDoublingDataPlane,
+    halving_doubling_traffic,
+    hd_steps,
+    is_power_of_two,
 )
 from .ring import RingDataPlane, RingSchedule, edge_traffic, identity_ring, steps_for
 from .tree import (
@@ -31,7 +41,9 @@ from .types import Collective, ReduceOp, input_bytes, reduce_many, validate_worl
 
 __all__ = [
     "Collective",
+    "DEFAULT_DATAPATH_LATENCY",
     "DoubleTreeDataPlane",
+    "HalvingDoublingDataPlane",
     "LatencyModel",
     "MCCS_LATENCY",
     "NCCL_LATENCY",
@@ -50,8 +62,12 @@ __all__ = [
     "double_tree_allreduce_traffic",
     "edge_traffic",
     "effective_bandwidth",
+    "halving_doubling_traffic",
+    "hd_steps",
     "identity_ring",
     "input_bytes",
+    "is_power_of_two",
+    "mccs_latency",
     "reduce_many",
     "ring_allreduce_cost",
     "ring_neighbors",

@@ -48,9 +48,27 @@ class LatencyModel:
 #: The library-side model (NCCL in-process).
 NCCL_LATENCY = LatencyModel(base=12e-6, per_step=5e-6, datapath=0.0)
 
-#: The MCCS model: same engine costs plus the measured 50-80 us IPC hop;
-#: we use the middle of the paper's reported range.
-MCCS_LATENCY = LatencyModel(base=12e-6, per_step=5e-6, datapath=65e-6)
+#: The middle of the paper's reported 50-80 us shim->service range (§6.2).
+DEFAULT_DATAPATH_LATENCY = 65e-6
+
+#: The MCCS model: same engine costs plus the measured IPC hop.
+MCCS_LATENCY = LatencyModel(
+    base=12e-6, per_step=5e-6, datapath=DEFAULT_DATAPATH_LATENCY
+)
+
+
+def mccs_latency(datapath: float = DEFAULT_DATAPATH_LATENCY) -> LatencyModel:
+    """The MCCS latency model with a configurable shim->service hop.
+
+    Deployments and experiment setups use this instead of hard-coding the
+    65 us midpoint, so sensitivity studies can sweep the §6.2 range (or
+    model a faster IPC path) without touching call sites.
+    """
+    if datapath < 0:
+        raise ValueError("datapath latency must be non-negative")
+    return LatencyModel(
+        base=MCCS_LATENCY.base, per_step=MCCS_LATENCY.per_step, datapath=datapath
+    )
 
 
 def ring_allreduce_cost(

@@ -15,7 +15,10 @@ Built-ins:
 
 * ``"ring"`` — the NCCL-style ring schedules (the prototype's focus);
 * ``"tree"`` — double-binary-tree AllReduce (ring for other kinds), the
-  extension §5 calls straightforward.
+  extension §5 calls straightforward;
+* ``"halving_doubling"`` — recursive halving-doubling (butterfly)
+  AllReduce for power-of-two worlds (ring otherwise), the latency-optimal
+  arm the :mod:`repro.autotune` planner can promote for small messages.
 
 An algorithm also supplies the matching data plane so collectives keep
 moving real bytes correctly whichever strategy the provider picks.
@@ -28,6 +31,12 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..collectives.halving_doubling import (
+    HalvingDoublingDataPlane,
+    halving_doubling_traffic,
+    hd_steps,
+    is_power_of_two,
+)
 from ..collectives.ring import RingDataPlane, edge_traffic, steps_for
 from ..collectives.tree import (
     DoubleTreeDataPlane,
@@ -159,6 +168,55 @@ class DoubleTreeAlgorithm(CollectiveAlgorithm):
         return plane.all_reduce(list(inputs), op)
 
 
+class HalvingDoublingAlgorithm(CollectiveAlgorithm):
+    """Recursive halving-doubling AllReduce (butterfly exchange).
+
+    Applies only to AllReduce on power-of-two worlds; everything else
+    falls back to rings, mirroring :class:`DoubleTreeAlgorithm`.  The
+    strategy's ring order assigns ranks to butterfly positions, so a
+    locality order keeps the small-mask (frequent, small-payload)
+    exchanges on nearby ranks.
+    """
+
+    name = "halving_doubling"
+
+    def __init__(self) -> None:
+        self._ring = RingAlgorithm()
+
+    def _applies(self, ctx_kind: Collective, world: int) -> bool:
+        return ctx_kind is Collective.ALL_REDUCE and is_power_of_two(world)
+
+    def rank_transfers(self, ctx: AlgorithmContext) -> List[RankTransfer]:
+        if not self._applies(ctx.kind, ctx.world):
+            return self._ring.rank_transfers(ctx)
+        order = list(ctx.ring_order)
+        v = order.index(ctx.rank)
+        n = ctx.world
+        transfers: List[RankTransfer] = []
+        mask = n >> 1
+        while mask:
+            # S*m/n bytes to the mask-partner in each of the two phases.
+            nbytes = 2.0 * ctx.out_bytes * mask / n / ctx.channels
+            peer = order[v ^ mask]
+            for channel in range(ctx.channels):
+                transfers.append(
+                    RankTransfer(dst_rank=peer, nbytes=nbytes, channel=channel)
+                )
+            mask >>= 1
+        return transfers
+
+    def steps(self, kind: Collective, world: int) -> int:
+        if not self._applies(kind, world):
+            return self._ring.steps(kind, world)
+        return hd_steps(world)
+
+    def run_data(self, ctx, inputs, op):
+        if not self._applies(ctx.kind, ctx.world):
+            return self._ring.run_data(ctx, inputs, op)
+        plane = HalvingDoublingDataPlane(ctx.ring_order)
+        return plane.all_reduce(list(inputs), op)
+
+
 _REGISTRY: Dict[str, CollectiveAlgorithm] = {}
 
 
@@ -185,3 +243,4 @@ def registered_algorithms() -> List[str]:
 
 register_algorithm(RingAlgorithm())
 register_algorithm(DoubleTreeAlgorithm())
+register_algorithm(HalvingDoublingAlgorithm())

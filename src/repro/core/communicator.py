@@ -54,10 +54,22 @@ class VersionedDataPath:
     a version and retired once no in-flight collective references them.
     """
 
-    def __init__(self, cluster: Cluster, job_id: str, ecmp_seed: int) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        job_id: str,
+        ecmp_seed: int,
+        *,
+        stable: bool = False,
+    ) -> None:
         self.cluster = cluster
         self.job_id = job_id
         self.ecmp_seed = ecmp_seed
+        #: With ``stable=True`` the ECMP discriminator omits the strategy
+        #: version: re-established connections of the same edge re-draw the
+        #: same path, so measurements are comparable across versions (and
+        #: across processes, when the job id is caller-chosen too).
+        self.stable = stable
         self._tables: Dict[int, ConnectionTable] = {}
         self._selectors: Dict[int, RouteIdSelector] = {}
         self._inflight: Dict[int, int] = {}
@@ -67,7 +79,12 @@ class VersionedDataPath:
         self, strategy: CollectiveStrategy, gpus: Sequence[GpuDevice]
     ) -> None:
         version = strategy.version
-        discriminator = f"{self.job_id}/v{version}"
+        if self.stable:
+            discriminator = self.job_id
+            fallback_seed = self.ecmp_seed
+        else:
+            discriminator = f"{self.job_id}/v{version}"
+            fallback_seed = self.ecmp_seed + version
         route_map = RouteMap()
         for (src_rank, dst_rank, channel), route_id in strategy.route_map().items():
             key = connection_key(
@@ -78,9 +95,7 @@ class VersionedDataPath:
                 discriminator,
             )
             route_map.assign(key, route_id)
-        selector = RouteIdSelector(
-            route_map, fallback_seed=self.ecmp_seed + version
-        )
+        selector = RouteIdSelector(route_map, fallback_seed=fallback_seed)
         self._selectors[version] = selector
         self._tables[version] = ConnectionTable(self.cluster, discriminator)
         self._inflight[version] = 0
@@ -530,6 +545,7 @@ class ServiceCommunicator:
         trace: Optional[CommTrace] = None,
         strict_consistency: bool = False,
         telemetry: Optional[TelemetryHub] = None,
+        datapath_tag: Optional[str] = None,
     ) -> None:
         validate_world(len(gpus))
         if strategy.world != len(gpus):
@@ -546,7 +562,20 @@ class ServiceCommunicator:
         self.strategy_history: Dict[int, CollectiveStrategy] = {
             strategy.version: strategy
         }
-        self.datapath = VersionedDataPath(cluster, f"{app_id}/comm{self.comm_id}", ecmp_seed)
+        # ECMP draws normally hash the (process-unique) comm id and the
+        # strategy version, modelling fresh 5-tuples per establishment.  A
+        # caller-chosen ``datapath_tag`` pins the namespace instead, giving
+        # identical draws for identical edges across communicators,
+        # versions, and processes — the autotune experiment uses this so
+        # tuned-vs-static compares strategies, not path luck.
+        self.datapath = VersionedDataPath(
+            cluster,
+            datapath_tag
+            if datapath_tag is not None
+            else f"{app_id}/comm{self.comm_id}",
+            ecmp_seed,
+            stable=datapath_tag is not None,
+        )
         #: One service-managed stream per communicator (§4.1).
         self.stream = Stream(cluster.sim, name=f"comm{self.comm_id}.stream")
         #: Communicator-level completion event created at init time and
@@ -580,6 +609,13 @@ class ServiceCommunicator:
         #: depend on (strategy incl. ring order/channels/route-ids, kind,
         #: sizes, root, rank); traffic loops reissue identical collectives.
         self.program_cache = FlowProgramCache()
+        #: Provider-side observers of finished (completed *or* aborted)
+        #: collectives — e.g. the autotuner's measurement feed.  Unlike
+        #: :attr:`CollectiveInstance.on_complete` (owned by the tenant
+        #: shim), many listeners can coexist.
+        self.completion_listeners: List[
+            Callable[[CollectiveInstance], None]
+        ] = []
 
     # ------------------------------------------------------------------
     def commit_strategy(self, strategy: CollectiveStrategy) -> None:
@@ -595,8 +631,16 @@ class ServiceCommunicator:
             by_host.setdefault(gpu.host_id, []).append(rank)
         return by_host
 
+    def add_completion_listener(
+        self, listener: Callable[[CollectiveInstance], None]
+    ) -> None:
+        """Subscribe ``listener`` to every finished collective instance."""
+        self.completion_listeners.append(listener)
+
     def on_instance_finished(self, instance: CollectiveInstance) -> None:
         self.active_instances.discard(instance.seq)
+        for listener in list(self.completion_listeners):
+            listener(instance)
 
     def on_instance_failure(
         self,

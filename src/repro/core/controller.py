@@ -113,6 +113,17 @@ class CentralManager:
             lambda app_id, gpus, channels: self.initial_strategy(gpus, channels)
         )
 
+    def enable_autotuning(self, config=None, **kwargs):
+        """Arm measurement-driven strategy autotuning cluster-wide.
+
+        Delegates to :meth:`MccsDeployment.enable_autotuning` and files
+        the decision in the §4.3 policy trail; returns the
+        :class:`~repro.autotune.AutoTuner`.
+        """
+        tuner = self.deployment.enable_autotuning(config, **kwargs)
+        self._record_report(PolicyReport(policy="autotune"))
+        return tuner
+
     # ------------------------------------------------------------------
     # Example #1: locality-aware rings
     # ------------------------------------------------------------------

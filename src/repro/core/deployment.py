@@ -17,11 +17,14 @@ Applications never touch this object directly; they connect through
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
+    from ..autotune import AutotuneConfig, AutoTuner, StrategyPlanner, TuningTable
     from .recovery import HeartbeatMonitor, RecoveryManager, RecoveryPolicy
 
 from ..baselines.nccl import default_channels
@@ -61,12 +64,19 @@ class MccsDeployment:
         cluster: Cluster,
         *,
         latency: LatencyModel = MCCS_LATENCY,
+        datapath_latency: Optional[float] = None,
         ecmp_seed: int = 0,
         control_latency: float = DEFAULT_CONTROL_RING_LATENCY,
         strict_consistency: bool = False,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         telemetry: Optional[TelemetryHub] = None,
     ) -> None:
+        if datapath_latency is not None:
+            # §6.2 knob: override the shim->service hop without callers
+            # having to rebuild the whole latency model.
+            if datapath_latency < 0:
+                raise ValueError("datapath_latency must be non-negative")
+            latency = replace(latency, datapath=datapath_latency)
         self.cluster = cluster
         self.sim = cluster.sim
         self.latency = latency
@@ -74,7 +84,8 @@ class MccsDeployment:
         self.control_latency = control_latency
         self.strict_consistency = strict_consistency
         self._telemetry = telemetry if telemetry is not None else TelemetryHub()
-        self._telemetry.attach_network(cluster.sim)
+        network = self._telemetry.attach_network(cluster.sim)
+        network.set_program_cache_provider(self.program_cache_stats)
         self.services: Dict[int, MccsService] = {
             host.host_id: MccsService(cluster, host, telemetry=self._telemetry)
             for host in cluster.hosts
@@ -95,6 +106,8 @@ class MccsDeployment:
         #: Failure recovery, armed via :meth:`enable_recovery`.
         self.recovery: Optional["RecoveryManager"] = None
         self.heartbeat_monitor: Optional["HeartbeatMonitor"] = None
+        #: Online strategy autotuner, armed via :meth:`enable_autotuning`.
+        self.autotuner: Optional["AutoTuner"] = None
 
     # ------------------------------------------------------------------
     # failure recovery
@@ -132,6 +145,44 @@ class MccsDeployment:
         return self.recovery
 
     # ------------------------------------------------------------------
+    # strategy autotuning
+    # ------------------------------------------------------------------
+    def enable_autotuning(
+        self,
+        config: Optional["AutotuneConfig"] = None,
+        *,
+        planner: Optional["StrategyPlanner"] = None,
+        table: Optional["TuningTable"] = None,
+    ) -> "AutoTuner":
+        """Arm the online autotuner for every (current and future)
+        communicator.
+
+        The tuner feeds measured collective durations into a
+        bounded-exploration bandit per (kind, world, size-bucket) and
+        applies strategy changes exclusively through the §4.2
+        reconfiguration barrier.
+
+        Args:
+            config: Bandit/exploration knobs; defaults to
+                :class:`~repro.autotune.AutotuneConfig`.
+            planner: Offline planner to seed arms from; defaults to one
+                built on this deployment's cluster and latency model.
+            table: A (possibly pre-planned, possibly loaded-from-JSON)
+                tuning table; defaults to an empty one that grows online.
+        """
+        from ..autotune import AutoTuner
+
+        if self.autotuner is None:
+            self.autotuner = AutoTuner(
+                self, config=config, planner=planner, table=table
+            )
+        elif config is not None:
+            self.autotuner.config = config
+        for comm in self._comms.values():
+            self.autotuner.attach(comm)
+        return self.autotuner
+
+    # ------------------------------------------------------------------
     # application-facing entry point
     # ------------------------------------------------------------------
     def connect(self, app_id: str) -> "MccsClient":
@@ -165,6 +216,7 @@ class MccsDeployment:
         *,
         channels: Optional[int] = None,
         strategy: Optional[CollectiveStrategy] = None,
+        datapath_tag: Optional[str] = None,
     ) -> ServiceCommunicator:
         """Create a communicator; the tenant's rank order is preserved but
         the *strategy* belongs to the provider from here on."""
@@ -186,6 +238,7 @@ class MccsDeployment:
             gate=self.gates.gate_for(app_id),
             strict_consistency=self.strict_consistency,
             telemetry=self._telemetry,
+            datapath_tag=datapath_tag,
         )
         comm.trace = self.traces.trace_for(comm.comm_id, app_id)
         self._comms[comm.comm_id] = comm
@@ -194,6 +247,8 @@ class MccsDeployment:
             self.service_of_gpu(gpu).proxy_for(gpu.global_id).register(comm, rank)
         if self.recovery is not None:
             self.recovery.attach(comm)
+        if self.autotuner is not None:
+            self.autotuner.attach(comm)
         return comm
 
     def handle_destroy_communicator(
@@ -405,6 +460,15 @@ class MccsDeployment:
         comm.stream.record_event(done_event)
         handle = root_host.ipc.export_event(done_event)
         return P2pResponse(comm_id=comm.comm_id, done_event=handle)
+
+    def program_cache_stats(self) -> Dict[str, int]:
+        """Aggregate flow-program cache stats over all live communicators
+        (the provider for the ``mccs_program_cache_*`` gauges)."""
+        totals = {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
+        for comm in self._comms.values():
+            for name, value in comm.program_cache.stats().items():
+                totals[name] += value
+        return totals
 
     def network_utilization(self, min_utilization: float = 0.0) -> Dict[str, float]:
         """Provider-side view of current link utilization (never exposed

@@ -48,6 +48,33 @@ class CollectiveStrategy:
                 f"unknown algorithm {self.algorithm!r}; "
                 f"registered: {registered_algorithms()}"
             )
+        world = self.ring.world
+        for entry in self.route_ids:
+            try:
+                (src, dst, channel), route_id = entry
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"malformed route_ids entry {entry!r}; expected "
+                    "((src_rank, dst_rank, channel), route_id)"
+                ) from None
+            if not (0 <= src < world and 0 <= dst < world):
+                raise ValueError(
+                    f"route_ids entry {entry!r} names rank(s) outside "
+                    f"world {world}"
+                )
+            if src == dst:
+                raise ValueError(
+                    f"route_ids entry {entry!r} routes a rank to itself"
+                )
+            if not 0 <= channel < self.channels:
+                raise ValueError(
+                    f"route_ids entry {entry!r} uses channel {channel}; "
+                    f"strategy has {self.channels} channel(s)"
+                )
+            if route_id < 0:
+                raise ValueError(
+                    f"route_ids entry {entry!r} has a negative route id"
+                )
 
     @property
     def world(self) -> int:

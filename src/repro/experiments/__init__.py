@@ -14,6 +14,7 @@ from . import (
     fig09_qos,
     fig10_dynamic,
     fig11_simulation,
+    fig_autotune,
     fig_failover,
 )
 from .report import Stat, cdf_points, format_table, geometric_mean, print_table
@@ -35,6 +36,7 @@ ALL_FIGURES = {
     "fig10": fig10_dynamic,
     "fig11": fig11_simulation,
     "failover": fig_failover,
+    "autotune": fig_autotune,
 }
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "fig09_qos",
     "fig10_dynamic",
     "fig11_simulation",
+    "fig_autotune",
     "fig_failover",
     "format_table",
     "geometric_mean",

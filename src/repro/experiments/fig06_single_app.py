@@ -20,7 +20,7 @@ NCCL by ~1.5-1.8x at 512 MB; MCCS beats everything at large sizes (up to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.nccl import NcclCommunicator
 from ..cluster.specs import testbed_cluster
@@ -63,9 +63,17 @@ class SingleAppResult:
 
 
 def _issue_fn(
-    system: str, setup: str, trial: int
+    system: str,
+    setup: str,
+    trial: int,
+    datapath_latency: Optional[float] = None,
 ) -> Tuple[Callable[[Collective, int, Callable], None], Callable[[], float]]:
-    """Build one system instance; returns (issue, run_sim)."""
+    """Build one system instance; returns (issue, run_sim).
+
+    ``datapath_latency`` overrides the MCCS shim->service hop (§6.2's
+    50-80 us range) for the MCCS systems; NCCL runs in-process and is
+    unaffected.
+    """
     cluster = testbed_cluster()
     gpus = single_app_gpus(cluster, setup)
     seed = trial * 1009 + 17
@@ -86,7 +94,9 @@ def _issue_fn(
 
         return issue, lambda: cluster.sim.run()
     if system in ("mccs_nofa", "mccs"):
-        deployment = MccsDeployment(cluster, ecmp_seed=seed)
+        deployment = MccsDeployment(
+            cluster, ecmp_seed=seed, datapath_latency=datapath_latency
+        )
         manager = CentralManager(deployment)
         state = manager.admit("A", gpus)
         if system == "mccs":
@@ -118,6 +128,7 @@ def run_fig06(
     systems: Sequence[str] = SYSTEMS,
     trials: int = 5,
     iters: int = 3,
+    datapath_latency: Optional[float] = None,
 ) -> List[SingleAppResult]:
     """Sweep the Figure 6 grid; returns one result row per cell."""
     results: List[SingleAppResult] = []
@@ -126,7 +137,7 @@ def run_fig06(
             for system in systems:
                 samples: Dict[int, List[float]] = {size: [] for size in sizes}
                 for trial in range(trials):
-                    issue, run = _issue_fn(system, setup, trial)
+                    issue, run = _issue_fn(system, setup, trial, datapath_latency)
                     for size in sizes:
                         for _ in range(iters):
                             durations: List[float] = []

@@ -104,4 +104,8 @@ class TelemetryHub:
             )
             for name, value in sorted(self.network.publish_perf_counters().items()):
                 lines.append(f"netsim.{name} = {value}")
+            cache_stats = self.network.publish_program_cache()
+            if cache_stats is not None:
+                for name, value in sorted(cache_stats.items()):
+                    lines.append(f"program_cache.{name} = {value}")
         return lines

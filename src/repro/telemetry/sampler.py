@@ -19,7 +19,7 @@ whenever a flow enters the network or a gated flow is released.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..netsim.engine import FlowSimulator, SimObserver
 from ..netsim.flows import Flow
@@ -57,6 +57,11 @@ class NetworkTelemetry(SimObserver):
         self._series: Dict[str, RingBuffer[LinkSample]] = {}
         self._ticker_running = False
         self.samples_taken = 0
+        #: Installed by the deployment: returns aggregated
+        #: :meth:`FlowProgramCache.stats` over its communicators.
+        self._program_cache_provider: Optional[
+            Callable[[], Dict[str, int]]
+        ] = None
 
         self._flows_total = metrics.counter(
             "mccs_flows_total", "Flows injected into the network, by job."
@@ -166,6 +171,34 @@ class NetworkTelemetry(SimObserver):
                 "Flow-simulator engine-core performance counter.",
             ).set(value)
         return counters
+
+    # ------------------------------------------------------------------
+    # flow-program cache gauges
+    # ------------------------------------------------------------------
+    def set_program_cache_provider(
+        self, provider: Callable[[], Dict[str, int]]
+    ) -> None:
+        """Install the source of aggregated flow-program cache stats."""
+        self._program_cache_provider = provider
+
+    def publish_program_cache(self) -> Optional[Dict[str, int]]:
+        """Copy aggregated :meth:`FlowProgramCache.stats` into gauges.
+
+        Like :meth:`publish_perf_counters`, called on demand at summary /
+        export time.  Gauge names are ``mccs_program_cache_<stat>``
+        (``hits``, ``misses``, ``size``, ``evictions``).  Returns ``None``
+        when no provider is installed.
+        """
+        if self._program_cache_provider is None:
+            return None
+        stats = self._program_cache_provider()
+        for name, value in stats.items():
+            self.metrics.gauge(
+                f"mccs_program_cache_{name}",
+                "Aggregated flow-program cache statistic across live "
+                "communicators.",
+            ).set(value)
+        return stats
 
     # ------------------------------------------------------------------
     # queries

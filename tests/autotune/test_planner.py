@@ -1,0 +1,189 @@
+"""Offline planner: cost model, candidate space, ranking, table building."""
+
+import pytest
+
+from repro.autotune import (
+    StrategyPlanner,
+    TuningTable,
+    bottleneck_seconds,
+    estimate_seconds,
+    pair_traffic,
+    pipelined_seconds,
+    size_bucket,
+    topology_fingerprint,
+)
+from repro.cluster.specs import testbed_cluster
+from repro.collectives.types import Collective
+from repro.experiments.setups import single_app_gpus
+from repro.netsim.units import KB, MB
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def gpus(cluster):
+    return single_app_gpus(cluster, "8gpu")
+
+
+# -- fingerprint ----------------------------------------------------------------
+def test_fingerprint_is_stable_and_descriptive(cluster, gpus):
+    fp = topology_fingerprint(cluster, gpus)
+    assert fp == topology_fingerprint(testbed_cluster(), gpus)
+    assert cluster.fabric.spec.name in fp
+    assert "hosts4" in fp and "racks2" in fp
+
+
+def test_fingerprint_distinguishes_placement_shape(cluster):
+    fp8 = topology_fingerprint(cluster, single_app_gpus(cluster, "8gpu"))
+    fp4 = topology_fingerprint(cluster, single_app_gpus(cluster, "4gpu"))
+    assert fp8 != fp4
+
+
+# -- traffic + bottleneck -------------------------------------------------------
+def test_pair_traffic_falls_back_to_ring():
+    # tree only specializes AllReduce; halving-doubling additionally
+    # needs a power-of-two world — both mirror the registry fallback
+    ring = pair_traffic("ring", Collective.ALL_GATHER, range(4), 100)
+    assert pair_traffic("tree", Collective.ALL_GATHER, range(4), 100) == ring
+    hd6 = pair_traffic("halving_doubling", Collective.ALL_REDUCE, range(6), 100)
+    assert hd6 == pair_traffic("ring", Collective.ALL_REDUCE, range(6), 100)
+
+
+def test_pair_traffic_specializations_differ_from_ring():
+    ring = pair_traffic("ring", Collective.ALL_REDUCE, range(8), 100)
+    tree = pair_traffic("tree", Collective.ALL_REDUCE, range(8), 100)
+    hd = pair_traffic("halving_doubling", Collective.ALL_REDUCE, range(8), 100)
+    assert tree != ring and hd != ring and hd != tree
+
+
+def test_bottleneck_spine_uplink_bites_cross_rack(cluster, gpus):
+    # the bisection-heavy halving-doubling butterfly loads the rack
+    # uplinks harder than the locality-friendly ring at equal bytes
+    nbytes = 64 * MB
+    ring_t = bottleneck_seconds(
+        cluster, gpus,
+        pair_traffic("ring", Collective.ALL_REDUCE, range(8), nbytes), 2,
+    )
+    hd_t = bottleneck_seconds(
+        cluster, gpus,
+        pair_traffic("halving_doubling", Collective.ALL_REDUCE, range(8), nbytes), 2,
+    )
+    assert hd_t > ring_t
+
+
+def test_bottleneck_intra_host_uses_local_channel(cluster):
+    host = cluster.hosts[0]
+    both_local = bottleneck_seconds(
+        cluster, host.gpus, {(0, 1): 1e9, (1, 0): 1e9}, 1
+    )
+    # local_gBps (200 Gbps-equivalent at 25 GB/s) beats a 50 Gbps NIC
+    one_remote = bottleneck_seconds(
+        cluster,
+        [host.gpus[0], cluster.hosts[1].gpus[0]],
+        {(0, 1): 1e9, (1, 0): 1e9},
+        1,
+    )
+    assert both_local < one_remote
+
+
+def test_more_channels_spread_nic_load(cluster):
+    gpus = [cluster.hosts[0].gpus[0], cluster.hosts[1].gpus[0]]
+    traffic = {(0, 1): 1e9}
+    one = bottleneck_seconds(cluster, gpus, traffic, 1)
+    two = bottleneck_seconds(cluster, gpus, traffic, 2)
+    assert two < one  # second channel lands on the second NIC
+
+
+# -- pipelining -----------------------------------------------------------------
+def test_pipelined_single_chunk_closed_form():
+    assert pipelined_seconds(1.0, steps=4, chunks=1, per_step=0.1) == (
+        pytest.approx(1.0 + 4 * 0.1)
+    )
+
+
+def test_pipelined_has_interior_optimum():
+    # big transfer, small per-step: some chunking must beat none, while
+    # absurd chunking pays per_step once per chunk and loses again
+    times = {
+        c: pipelined_seconds(1.0, steps=4, chunks=c, per_step=1e-3)
+        for c in (1, 8, 10_000)
+    }
+    assert times[8] < times[1]
+    assert times[8] < times[10_000]
+
+
+def test_pipelined_rejects_bad_chunks():
+    with pytest.raises(ValueError):
+        pipelined_seconds(1.0, steps=4, chunks=0, per_step=0.1)
+
+
+# -- planner --------------------------------------------------------------------
+def test_planner_validates_options(cluster):
+    with pytest.raises(ValueError):
+        StrategyPlanner(cluster, channel_options=())
+    with pytest.raises(ValueError):
+        StrategyPlanner(cluster, chunk_options=(0,))
+
+
+def test_candidate_space_shape(cluster, gpus):
+    planner = StrategyPlanner(cluster)
+    allreduce = planner.candidates(Collective.ALL_REDUCE, gpus)
+    assert {c.algorithm for c in allreduce} == {
+        "ring", "tree", "halving_doubling",
+    }
+    # AllGather has no specialized families
+    allgather = planner.candidates(Collective.ALL_GATHER, gpus)
+    assert {c.algorithm for c in allgather} == {"ring"}
+    # non-power-of-two world drops halving-doubling
+    six = planner.candidates(Collective.ALL_REDUCE, gpus[:6])
+    assert "halving_doubling" not in {c.algorithm for c in six}
+
+
+def test_plan_collapses_chunk_dimension(cluster, gpus):
+    planner = StrategyPlanner(cluster)
+    ranked = planner.plan(Collective.ALL_REDUCE, 1 * MB, gpus)
+    signatures = [s.candidate.signature() for s in ranked]
+    assert len(signatures) == len(set(signatures))
+    raw = planner.candidates(Collective.ALL_REDUCE, gpus)
+    assert len(ranked) == len({c.signature() for c in raw})
+
+
+def test_plan_is_sorted_and_size_sensitive(cluster, gpus):
+    planner = StrategyPlanner(cluster)
+    small = planner.plan(Collective.ALL_REDUCE, 64 * KB, gpus)
+    large = planner.plan(Collective.ALL_REDUCE, 64 * MB, gpus)
+    for ranked in (small, large):
+        costs = [s.predicted_seconds for s in ranked]
+        assert costs == sorted(costs)
+    # the paper's trade: fewer latency hops win small, rings win large
+    assert small[0].candidate.algorithm in ("halving_doubling", "tree")
+    assert large[0].candidate.algorithm == "ring"
+    assert planner.best(Collective.ALL_REDUCE, 64 * MB, gpus) == large[0]
+
+
+def test_plan_publishes_metrics(cluster, gpus):
+    metrics = MetricsRegistry()
+    planner = StrategyPlanner(cluster, metrics=metrics)
+    ranked = planner.plan(Collective.ALL_REDUCE, 1 * MB, gpus)
+    assert planner.plans_evaluated > len(ranked)  # pre-collapse count
+    counter = metrics.counters()["mccs_autotune_plans_evaluated_total"]
+    assert counter.value(kind="all_reduce") == planner.plans_evaluated
+
+
+def test_build_table_round_trips_through_json(cluster, gpus, tmp_path):
+    planner = StrategyPlanner(cluster)
+    sizes = (48 * KB, 64 * KB, 64 * MB)  # first two share bucket 16
+    table = planner.build_table(
+        gpus, kinds=(Collective.ALL_REDUCE, Collective.ALL_GATHER), sizes=sizes
+    )
+    buckets = {size_bucket(s) for s in sizes}
+    assert len(table) == 2 * len(buckets)
+    path = str(tmp_path / "table.json")
+    table.save(path)
+    restored = TuningTable.load(path)
+    assert restored.to_json() == table.to_json()
+    fp = topology_fingerprint(cluster, gpus)
+    hit = restored.lookup("all_reduce", len(gpus), 48 * KB, fp)
+    assert hit is not None
+    assert hit.algorithm in ("halving_doubling", "tree")
+    big = restored.lookup("all_reduce", len(gpus), 64 * MB, fp)
+    assert big is not None and big.algorithm == "ring"

@@ -1,0 +1,88 @@
+"""Every registered algorithm family is byte-correct vs a numpy reference.
+
+The registry (:mod:`repro.core.algorithms`) is the extension point the
+autotuner searches over; this suite pins down that each family's data
+plane produces exactly what a single-node numpy reduction would, across
+operators, dtypes, and world sizes — so any strategy the tuner installs
+is *always correct*, only faster or slower.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.halving_doubling import (
+    HalvingDoublingDataPlane,
+    is_power_of_two,
+)
+from repro.collectives.ring import RingDataPlane, RingSchedule
+from repro.collectives.tree import DoubleTreeDataPlane, double_binary_trees
+from repro.collectives.types import ReduceOp, reduce_many
+from repro.core.algorithms import registered_algorithms
+
+
+def data_plane_for(name, world):
+    """AllReduce data plane executing registry family ``name``.
+
+    Mirrors the registry fallback: halving-doubling only specializes
+    power-of-two worlds (otherwise the service runs the ring).
+    """
+    order = range(world)
+    if name == "ring":
+        return RingDataPlane(RingSchedule(tuple(order)))
+    if name == "tree":
+        return DoubleTreeDataPlane(double_binary_trees(order))
+    if name == "halving_doubling":
+        if not is_power_of_two(world):
+            return RingDataPlane(RingSchedule(tuple(order)))
+        return HalvingDoublingDataPlane(order)
+    raise NotImplementedError(
+        f"no reference data plane for registered algorithm {name!r}"
+    )
+
+
+def test_every_registered_algorithm_has_a_data_plane():
+    names = registered_algorithms()
+    assert {"ring", "tree", "halving_doubling"} <= set(names)
+    for name in names:
+        plane = data_plane_for(name, 8)
+        assert hasattr(plane, "all_reduce")
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+@given(
+    world=st.integers(2, 9),
+    size=st.integers(1, 33),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_all_reduce_sum_matches_numpy(name, world, size, seed):
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(size) for _ in range(world)]
+    outputs = data_plane_for(name, world).all_reduce(inputs)
+    expected = np.sum(inputs, axis=0)
+    assert len(outputs) == world
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+@given(
+    world=st.sampled_from([2, 3, 4, 7, 8]),
+    op=st.sampled_from(list(ReduceOp)),
+    dtype=st.sampled_from([np.int32, np.int64, np.float64]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_all_reduce_ops_dtypes_exact(name, world, op, dtype, seed):
+    # small positive integers: every op (incl. PROD) is exact in every
+    # dtype, so equality really is byte-for-byte
+    rng = np.random.default_rng(seed)
+    inputs = [
+        rng.integers(1, 4, size=17).astype(dtype) for _ in range(world)
+    ]
+    outputs = data_plane_for(name, world).all_reduce(inputs, op)
+    expected = reduce_many(op, inputs)
+    for out in outputs:
+        assert out.dtype == dtype
+        np.testing.assert_array_equal(out, expected)

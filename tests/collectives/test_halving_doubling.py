@@ -1,0 +1,141 @@
+"""Recursive halving-doubling: traffic model and butterfly data plane."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.halving_doubling import (
+    HalvingDoublingDataPlane,
+    halving_doubling_traffic,
+    hd_steps,
+    is_power_of_two,
+)
+from repro.collectives.types import ReduceOp
+
+
+def test_is_power_of_two():
+    assert [n for n in range(1, 17) if is_power_of_two(n)] == [1, 2, 4, 8, 16]
+
+
+def test_hd_steps_is_two_log2():
+    assert hd_steps(2) == 2
+    assert hd_steps(4) == 4
+    assert hd_steps(8) == 6
+
+
+def test_hd_steps_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        hd_steps(6)
+
+
+def test_traffic_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        halving_doubling_traffic(range(6), 100)
+
+
+def test_traffic_total_is_bandwidth_optimal():
+    # per-rank egress 2*S*(n-1)/n; n ranks -> total 2*S*(n-1)
+    for n in (2, 4, 8, 16):
+        traffic = halving_doubling_traffic(range(n), 128.0)
+        assert sum(traffic.values()) == pytest.approx(2 * 128.0 * (n - 1))
+
+
+def test_traffic_per_rank_egress_matches_ring():
+    n = 8
+    traffic = halving_doubling_traffic(range(n), 128.0)
+    for rank in range(n):
+        egress = sum(v for (s, _), v in traffic.items() if s == rank)
+        assert egress == pytest.approx(2 * 128.0 * (n - 1) / n)
+
+
+def test_traffic_pairs_are_butterfly_partners():
+    traffic = halving_doubling_traffic(range(4), 64.0)
+    # mask 2 pairs (0,2),(1,3); mask 1 pairs (0,1),(2,3) — each both ways
+    assert set(traffic) == {
+        (0, 2), (2, 0), (1, 3), (3, 1), (0, 1), (1, 0), (2, 3), (3, 2),
+    }
+    # the first halving step moves half the vector across the bisection
+    assert traffic[(0, 2)] == pytest.approx(2 * 64.0 * 2 / 4)
+    assert traffic[(0, 1)] == pytest.approx(2 * 64.0 * 1 / 4)
+
+
+def test_traffic_respects_position_order():
+    # permuting positions permutes which *ranks* are bisection partners
+    traffic = halving_doubling_traffic([3, 1, 0, 2], 64.0)
+    assert (3, 0) in traffic and (1, 2) in traffic
+
+
+def test_data_plane_validation():
+    with pytest.raises(ValueError):
+        HalvingDoublingDataPlane(range(6))
+    with pytest.raises(ValueError):
+        HalvingDoublingDataPlane((0, 0, 1, 1))
+    plane = HalvingDoublingDataPlane(range(4))
+    with pytest.raises(ValueError):
+        plane.all_reduce([np.zeros(4)])
+    with pytest.raises(ValueError):
+        plane.all_reduce([np.zeros(4), np.zeros(4), np.zeros(4), np.zeros(5)])
+
+
+@given(
+    world_exp=st.integers(1, 4),
+    size=st.integers(1, 40),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_all_reduce_matches_numpy_sum(world_exp, size, seed):
+    world = 2**world_exp
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(size) for _ in range(world)]
+    outputs = HalvingDoublingDataPlane(range(world)).all_reduce(inputs)
+    expected = np.sum(inputs, axis=0)
+    assert len(outputs) == world
+    for out in outputs:
+        assert np.allclose(out, expected)
+
+
+@pytest.mark.parametrize("op", list(ReduceOp))
+@pytest.mark.parametrize("dtype", [np.int64, np.float64])
+def test_all_reduce_ops_and_dtypes(op, dtype):
+    world = 8
+    rng = np.random.default_rng(7)
+    inputs = [rng.integers(1, 5, size=13).astype(dtype) for _ in range(world)]
+    outputs = HalvingDoublingDataPlane(range(world)).all_reduce(inputs, op)
+    expected = inputs[0].copy()
+    for arr in inputs[1:]:
+        expected = op.combine(expected, arr)
+    for out in outputs:
+        assert out.dtype == dtype
+        np.testing.assert_array_equal(out, expected)
+
+
+def test_all_reduce_over_permuted_order():
+    world = 4
+    rng = np.random.default_rng(3)
+    inputs = [rng.standard_normal((3, 5)) for _ in range(world)]
+    outputs = HalvingDoublingDataPlane([2, 0, 3, 1]).all_reduce(inputs)
+    expected = np.sum(inputs, axis=0)
+    for out in outputs:
+        assert out.shape == (3, 5)
+        assert np.allclose(out, expected)
+
+
+def test_edge_bytes_match_traffic_model():
+    world = 4
+    plane = HalvingDoublingDataPlane(range(world))
+    inputs = [np.zeros(32, dtype=np.float64) for _ in range(world)]
+    plane.all_reduce(inputs)
+    predicted = halving_doubling_traffic(range(world), inputs[0].nbytes)
+    assert plane.edge_bytes == {k: int(v) for k, v in predicted.items()}
+
+
+def test_edge_bytes_match_traffic_model_uneven_size():
+    # 13 elements over 4 ranks: chunk_bounds blocks are uneven, but the
+    # total moved still matches the closed form to within block rounding
+    world = 4
+    plane = HalvingDoublingDataPlane(range(world))
+    inputs = [np.zeros(13, dtype=np.float64) for _ in range(world)]
+    plane.all_reduce(inputs)
+    predicted = halving_doubling_traffic(range(world), inputs[0].nbytes)
+    total = sum(plane.edge_bytes.values())
+    assert total == pytest.approx(sum(predicted.values()), rel=0.25)

@@ -85,6 +85,24 @@ def test_strategy_validation():
         CollectiveStrategy(ring=RingSchedule((0, 1)), algorithm="mesh")
 
 
+def test_route_ids_validation():
+    ring = RingSchedule((0, 1, 2))
+    ok = CollectiveStrategy(
+        ring=ring, channels=2, route_ids=(((0, 1, 1), 3),)
+    )
+    assert ok.route_map() == {(0, 1, 1): 3}
+    with pytest.raises(ValueError, match="malformed"):
+        CollectiveStrategy(ring=ring, route_ids=((0, 1),))
+    with pytest.raises(ValueError, match="outside"):
+        CollectiveStrategy(ring=ring, route_ids=(((0, 3, 0), 1),))
+    with pytest.raises(ValueError, match="itself"):
+        CollectiveStrategy(ring=ring, route_ids=(((1, 1, 0), 1),))
+    with pytest.raises(ValueError, match="channel"):
+        CollectiveStrategy(ring=ring, route_ids=(((0, 1, 1), 1),))
+    with pytest.raises(ValueError, match="negative"):
+        CollectiveStrategy(ring=ring, route_ids=(((0, 1, 0), -1),))
+
+
 def test_evolve_bumps_version():
     s = default_strategy(3)
     s2 = s.evolve(ring=RingSchedule((2, 1, 0)))

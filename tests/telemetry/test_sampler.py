@@ -100,3 +100,23 @@ def test_sample_now_and_snapshot():
     snap = net.utilization_snapshot()
     assert snap["a->b"]["samples"] == [[0.0, 1.0]]
     assert snap["a->b"]["evicted"] == 0
+
+
+def test_program_cache_gauges_need_a_provider():
+    _, net = make_telemetry()
+    assert net.publish_program_cache() is None
+    assert "mccs_program_cache_hits" not in net.metrics.gauges()
+
+
+def test_program_cache_gauges_published_from_provider():
+    _, net = make_telemetry()
+    stats = {"size": 3, "hits": 7, "misses": 2, "evictions": 1}
+    net.set_program_cache_provider(lambda: dict(stats))
+    assert net.publish_program_cache() == stats
+    gauges = net.metrics.gauges()
+    for name, value in stats.items():
+        assert gauges[f"mccs_program_cache_{name}"].value() == value
+    # provider is re-read on every publish
+    stats["hits"] = 9
+    net.publish_program_cache()
+    assert net.metrics.gauges()["mccs_program_cache_hits"].value() == 9

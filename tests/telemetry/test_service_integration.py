@@ -186,3 +186,32 @@ def test_prometheus_export_from_live_deployment():
     assert '# TYPE mccs_collectives_issued_total counter' in text
     assert 'mccs_collectives_issued_total{app="app",kind="all_reduce"} 1' in text
     assert "# TYPE mccs_collective_duration_seconds histogram" in text
+
+
+def test_program_cache_stats_flow_into_summary():
+    cluster, deployment, comm, client, handle = make_env()
+    client.all_reduce(handle, 8 * MB)
+    client.all_reduce(handle, 8 * MB)  # second issue hits the cache
+    deployment.run()
+    hub = deployment.telemetry()
+    stats = hub.network.publish_program_cache()
+    assert stats is not None
+    assert stats["hits"] >= 1
+    assert stats["size"] >= 1
+    gauges = hub.metrics.gauges()
+    assert gauges["mccs_program_cache_hits"].value() == stats["hits"]
+    assert gauges["mccs_program_cache_misses"].value() == stats["misses"]
+    lines = hub.summary_lines()
+    assert any(line.startswith("program_cache.hits = ") for line in lines)
+
+
+def test_program_cache_stats_aggregate_across_comms():
+    cluster, deployment, comm, client, handle = make_env()
+    gpus = [cluster.hosts[h].gpus[1] for h in range(3)]
+    deployment.create_communicator("other", gpus)
+    client.all_reduce(handle, 8 * MB)
+    deployment.run()
+    stats = deployment.program_cache_stats()
+    assert set(stats) == {"size", "hits", "misses", "evictions"}
+    per_comm = [c.program_cache.stats() for c in deployment.communicators()]
+    assert stats["size"] == sum(s["size"] for s in per_comm)

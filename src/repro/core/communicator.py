@@ -616,14 +616,43 @@ class ServiceCommunicator:
         self.completion_listeners: List[
             Callable[[CollectiveInstance], None]
         ] = []
+        #: Deployment hook journaling each *first* commit of a version
+        #: (write-ahead ``install_strategy`` records).
+        self.on_commit: Optional[
+            Callable[["ServiceCommunicator", CollectiveStrategy], None]
+        ] = None
 
     # ------------------------------------------------------------------
     def commit_strategy(self, strategy: CollectiveStrategy) -> None:
         """Record a new strategy version (called once a reconfiguration's
         barrier has resolved; proxies switch independently)."""
+        fresh = strategy.version not in self.strategy_history
         self.strategy = strategy
         self.strategy_history[strategy.version] = strategy
         self.datapath.retire_stale(strategy.version)
+        if fresh and self.on_commit is not None:
+            self.on_commit(self, strategy)
+
+    def launch_frontier(self) -> int:
+        """Sequence number of the last collective whose kernel started.
+
+        Launch fan-out is synchronous across ranks (the service stream is
+        FIFO), so this is exactly the ``launched_seq`` cursor a restarted
+        proxy engine must resume from: instances past the frontier are
+        still queued on the stream and will arrive through the normal
+        :meth:`ProxyEngine.request_launch` ordering check.
+        """
+        frontier = -1
+        for instance in self.instances:
+            if (
+                instance.completed
+                or instance.aborted
+                or instance.launch_started
+            ):
+                frontier = instance.seq
+            else:
+                break
+        return frontier
 
     def ranks_by_host(self) -> Dict[int, List[int]]:
         by_host: Dict[int, List[int]] = {}

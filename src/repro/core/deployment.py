@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
     from ..autotune import AutotuneConfig, AutoTuner, StrategyPlanner, TuningTable
     from .recovery import HeartbeatMonitor, RecoveryManager, RecoveryPolicy
+    from .supervisor import ServiceSupervisor
 
 from ..baselines.nccl import default_channels
 from ..cluster.gpu import AsyncOp, Event, GpuDevice
@@ -39,7 +40,14 @@ from ..netsim.errors import (
     MccsError,
 )
 from ..telemetry.hub import TelemetryHub
+from .admission import AdmissionController, AdmissionPolicy
 from .communicator import CollectiveInstance, ServiceCommunicator
+from .journal import (
+    ControlPlaneState,
+    StateJournal,
+    snapshot_deployment,
+    strategy_descriptor,
+)
 from .messages import (
     BufferRef,
     CollectiveRequest,
@@ -86,10 +94,16 @@ class MccsDeployment:
         self._telemetry = telemetry if telemetry is not None else TelemetryHub()
         network = self._telemetry.attach_network(cluster.sim)
         network.set_program_cache_provider(self.program_cache_stats)
+        #: Write-ahead journal of control-plane mutations.  Owned here —
+        #: not by any per-host service — so it survives service crashes;
+        #: MccsService.restart() replays it.
+        self.journal = StateJournal(telemetry=self._telemetry)
         self.services: Dict[int, MccsService] = {
             host.host_id: MccsService(cluster, host, telemetry=self._telemetry)
             for host in cluster.hosts
         }
+        for service in self.services.values():
+            service.deployment = self
         self.gates = TrafficGateManager(cluster.sim, telemetry=self._telemetry)
         self.traces = TraceStore(max_records_per_comm=trace_capacity)
         self.reconfig = ReconfigManager(
@@ -108,6 +122,11 @@ class MccsDeployment:
         self.heartbeat_monitor: Optional["HeartbeatMonitor"] = None
         #: Online strategy autotuner, armed via :meth:`enable_autotuning`.
         self.autotuner: Optional["AutoTuner"] = None
+        #: Admission control, armed via :meth:`configure_admission`.
+        self.admission: Optional[AdmissionController] = None
+        #: Crash supervisor, armed via :meth:`enable_service_supervision`.
+        self.supervisor: Optional["ServiceSupervisor"] = None
+        self._telemetry.set_resilience_provider(self.resilience_stats)
 
     # ------------------------------------------------------------------
     # failure recovery
@@ -143,6 +162,94 @@ class MccsDeployment:
                 until=heartbeat_until,
             ).start()
         return self.recovery
+
+    # ------------------------------------------------------------------
+    # resilience: admission control, crash supervision, journal state
+    # ------------------------------------------------------------------
+    def configure_admission(
+        self, policy: Optional[AdmissionPolicy] = None
+    ) -> AdmissionController:
+        """Arm (or re-policy) admission control over data-path requests.
+
+        Every collective/p2p request entering any frontend engine is then
+        checked against per-tenant QoS quotas and the deployment-wide
+        overload cap; sheds raise :class:`~repro.errors.
+        AdmissionRejectedError` back through the shim.
+        """
+        if self.admission is None:
+            self.admission = AdmissionController(
+                self, policy, telemetry=self._telemetry
+            )
+        elif policy is not None:
+            self.admission.policy = policy
+        return self.admission
+
+    def enable_service_supervision(
+        self, restart_delay: float = 0.02
+    ) -> "ServiceSupervisor":
+        """Arm the supervisor that restarts crashed services from the
+        journal after ``restart_delay`` simulated seconds."""
+        from .supervisor import ServiceSupervisor
+
+        if self.supervisor is None:
+            self.supervisor = ServiceSupervisor(
+                self, restart_delay=restart_delay
+            )
+        else:
+            self.supervisor.restart_delay = restart_delay
+        return self.supervisor
+
+    def crash_service(self, host_id: int) -> None:
+        """Kill one host's service process (the host itself survives)."""
+        self.service_of(host_id).crash()
+
+    def restart_service(self, host_id: int) -> int:
+        """Restart one host's service by journal replay; returns the
+        number of records replayed (0 when already alive)."""
+        return self.service_of(host_id).restart()
+
+    def _journal_commit(self, comm: ServiceCommunicator, strategy) -> None:
+        """on_commit hook: journal every freshly committed strategy."""
+        self.journal.append(
+            self.sim.now,
+            "install_strategy",
+            comm_id=comm.comm_id,
+            strategy=strategy_descriptor(strategy),
+        )
+
+    def control_state(self) -> ControlPlaneState:
+        """Snapshot of the live control plane in journal-comparable form."""
+        return snapshot_deployment(self)
+
+    def verify_journal(self) -> List[str]:
+        """Replay the journal and diff it against the live control plane.
+
+        Returns the (empty when consistent) list of mismatch descriptions;
+        the crash/restart tests assert it stays empty across kill cycles.
+        """
+        from .journal import replay_journal
+
+        return replay_journal(self.journal.records()).diff(self.control_state())
+
+    def resilience_stats(self) -> Dict[str, int]:
+        """Provider for the telemetry summary's resilience lines."""
+        stats = {
+            "journal_records": len(self.journal),
+            "journal_appends": self.journal.appends_total,
+            "service_crashes": sum(
+                service.crashes for service in self.services.values()
+            ),
+            "service_restarts": sum(
+                service.restarts for service in self.services.values()
+            ),
+            "upgrades": sum(
+                len(service.upgrades) for service in self.services.values()
+            ),
+        }
+        if self.admission is not None:
+            stats["admitted"] = self.admission.admitted_total
+            stats["shed"] = self.admission.shed_total
+        return stats
 
     # ------------------------------------------------------------------
     # strategy autotuning
@@ -241,6 +348,15 @@ class MccsDeployment:
             datapath_tag=datapath_tag,
         )
         comm.trace = self.traces.trace_for(comm.comm_id, app_id)
+        self.journal.append(
+            self.sim.now,
+            "create_communicator",
+            app=app_id,
+            comm_id=comm.comm_id,
+            gpus=[gpu.global_id for gpu in gpus],
+            strategy=strategy_descriptor(comm.strategy),
+        )
+        comm.on_commit = self._journal_commit
         self._comms[comm.comm_id] = comm
         self._comm_owner[comm.comm_id] = app_id
         for rank, gpu in enumerate(comm.gpus):
@@ -260,6 +376,9 @@ class MccsDeployment:
                 f"communicator {comm.comm_id} still has "
                 f"{len(comm.active_instances)} collective(s) in flight"
             )
+        self.journal.append(
+            self.sim.now, "destroy_communicator", app=app_id, comm_id=comm.comm_id
+        )
         for rank, gpu in enumerate(comm.gpus):
             self.service_of_gpu(gpu).proxy_for(gpu.global_id).unregister(comm, rank)
         for version in comm.datapath.live_versions():
@@ -284,6 +403,15 @@ class MccsDeployment:
         send_views, recv_views = self._validated_views(app_id, comm, request)
         seq = comm.next_seq
         comm.next_seq += 1
+        self.journal.append(
+            self.sim.now,
+            "collective_issued",
+            app=app_id,
+            comm_id=comm.comm_id,
+            seq=seq,
+            kind=request.kind.value,
+            bytes=request.out_bytes,
+        )
         span = self._telemetry.spans.begin(
             f"{request.kind.value} comm{comm.comm_id}.s{seq}",
             self.sim.now,

@@ -11,7 +11,7 @@ valid allocation before performing the operation").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Set
 
 import numpy as np
 
@@ -39,6 +39,10 @@ class MemoryManager:
 
     def __init__(self) -> None:
         self._allocations: Dict[int, ManagedAllocation] = {}
+        #: Buffer ids this manager already freed, so a shim retry of a
+        #: FreeRequest (delivered after a service restart) is a no-op
+        #: instead of an "unknown buffer" error: free is idempotent.
+        self._freed: Set[int] = set()
         self.bytes_allocated = 0
         self.bytes_freed = 0
 
@@ -53,10 +57,19 @@ class MemoryManager:
         self.bytes_allocated += size
         return alloc
 
-    def free(self, app_id: str, buffer_id: int, ipc: IpcRegistry) -> None:
-        """Free an allocation; the shim must have closed its handle."""
+    def free(self, app_id: str, buffer_id: int, ipc: IpcRegistry) -> bool:
+        """Free an allocation; the shim must have closed its handle.
+
+        Idempotent under retry: freeing an id this manager already freed
+        returns ``False`` without touching the device (the first free
+        won); an id that was *never* allocated raises the typed
+        :class:`InvalidBufferError`.  Returns ``True`` when this call
+        performed the deallocation.
+        """
         alloc = self._allocations.get(buffer_id)
         if alloc is None:
+            if buffer_id in self._freed:
+                return False
             raise InvalidBufferError(f"unknown buffer id {buffer_id}")
         if alloc.app_id != app_id:
             raise InvalidBufferError(
@@ -70,6 +83,30 @@ class MemoryManager:
         ipc.revoke_memory(alloc.handle)
         self.bytes_freed += alloc.buffer.size
         del self._allocations[buffer_id]
+        self._freed.add(buffer_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def adopt(
+        self, app_id: str, buffer: DeviceBuffer, handle: IpcMemHandle
+    ) -> ManagedAllocation:
+        """Re-adopt a surviving allocation after a service restart.
+
+        The device memory and the host's IPC export outlived the crashed
+        service process; journal replay re-binds them into a fresh
+        manager without allocating or exporting anything new.
+        """
+        alloc = ManagedAllocation(app_id=app_id, buffer=buffer, handle=handle)
+        self._allocations[buffer.buffer_id] = alloc
+        self.bytes_allocated += buffer.size
+        return alloc
+
+    def mark_freed(self, buffer_id: int) -> None:
+        """Record a historical free during journal replay (keeps retried
+        frees of pre-crash buffers idempotent after a restart)."""
+        self._freed.add(buffer_id)
 
     # ------------------------------------------------------------------
     def validate(self, app_id: str, ref: BufferRef) -> ManagedAllocation:
@@ -101,6 +138,9 @@ class MemoryManager:
         alloc = self.validate(app_id, ref)
         itemsize = np.dtype(dtype).itemsize
         return alloc.buffer.view(dtype, ref.offset, ref.nbytes // itemsize)
+
+    def allocations(self) -> Dict[int, ManagedAllocation]:
+        return dict(self._allocations)
 
     def allocations_of(self, app_id: str) -> Dict[int, ManagedAllocation]:
         return {

@@ -39,6 +39,8 @@ from ..netsim.errors import (
     NicFailedError,
     NoPathError,
     ReconfigurationError,
+    ServiceCrashedError,
+    ServiceUnavailableError,
 )
 from .communicator import CollectiveInstance, ServiceCommunicator
 
@@ -69,10 +71,20 @@ class RecoveryPolicy:
     #: After a host crash aborts a communicator, form a successor
     #: communicator on the surviving ranks.
     reform_on_crash: bool = True
+    #: How long a repair episode waits for a crashed *service* to be
+    #: restarted by the supervisor before giving the communicator up.
+    restart_wait: float = 1.0
+    #: Poll period while waiting on a pending service restart (the wait
+    #: consumes no repair attempts — the outage, not the repair, is slow).
+    restart_poll: float = 0.01
 
 
 def fault_kind(error: BaseException) -> str:
     """Telemetry label for a failure's root cause."""
+    if isinstance(error, (ServiceCrashedError, ServiceUnavailableError)):
+        # Must precede the host-crash arm: ServiceCrashedError subclasses
+        # the same FaultError family but the host (and its GPUs) survive.
+        return "service_crash"
     if isinstance(error, (HostCrashedError, HeartbeatTimeoutError)):
         return "host_crash"
     if isinstance(error, NicFailedError):
@@ -200,14 +212,34 @@ class RecoveryManager:
             or self._cycles.get(comm.comm_id) is not rec
         ):
             return
-        rec.attempt += 1
         if rec.errors:
             rec.kind = fault_kind(rec.errors[0])
+        waiting = self._restarting_hosts(comm)
+        if waiting:
+            # A crashed service with a pending supervised restart is dark,
+            # not dead: hold the episode (consuming no repair attempts)
+            # until the service is back or the wait budget runs out.
+            if self.sim.now - rec.started_at > self.policy.restart_wait:
+                self._give_up(
+                    rec,
+                    CommunicatorError(
+                        f"communicator {comm.comm_id} waited "
+                        f"{self.policy.restart_wait:g}s but the service on "
+                        f"host(s) {waiting} never restarted: "
+                        f"{rec.errors[0] if rec.errors else 'service down'}"
+                    ),
+                )
+                return
+            rec.kind = "service_crash"
+            self._schedule_cycle(rec, delay=self.policy.restart_poll)
+            return
+        rec.attempt += 1
         dead = self._dead_ranks(comm)
         if dead:
             # Crashed ranks cannot be repaired by rerouting; classify the
             # episode by its true cause even if a link error arrived first.
-            rec.kind = "host_crash"
+            if rec.kind != "service_crash":
+                rec.kind = "host_crash"
             self._give_up(
                 rec,
                 CommunicatorError(
@@ -383,9 +415,35 @@ class RecoveryManager:
         dead = []
         for rank, proxy in enumerate(self.deployment.proxies_of(comm)):
             host = self.deployment.cluster.hosts[comm.gpus[rank].host_id]
-            if not proxy.alive or not host.alive:
+            if not host.alive:
+                dead.append(rank)
+                continue
+            if proxy.alive:
+                continue
+            # Dead proxy on a live host: a service crash.  The rank is
+            # only lost if nothing will bring the service back.
+            supervisor = self.deployment.supervisor
+            if supervisor is not None and supervisor.restart_pending(
+                host.host_id
+            ):
+                continue
+            if not self.deployment.service_of(host.host_id).alive:
                 dead.append(rank)
         return dead
+
+    def _restarting_hosts(self, comm: ServiceCommunicator) -> List[int]:
+        """Hosts of this communicator whose service is down but has a
+        supervised restart pending."""
+        supervisor = self.deployment.supervisor
+        if supervisor is None:
+            return []
+        hosts = sorted({gpu.host_id for gpu in comm.gpus})
+        return [
+            host_id
+            for host_id in hosts
+            if not self.deployment.service_of(host_id).alive
+            and supervisor.restart_pending(host_id)
+        ]
 
 
 class HeartbeatMonitor:
@@ -424,7 +482,15 @@ class HeartbeatMonitor:
 
     def _tick(self) -> None:
         now = self.sim.now
+        supervisor = self.deployment.supervisor
         for service in self.deployment.services.values():
+            if (
+                supervisor is not None
+                and supervisor.restart_pending(service.host.host_id)
+            ):
+                # Known-dark, not silently dead: the supervisor already
+                # has a restart in flight for this service.
+                continue
             for proxy in service.proxies.values():
                 if proxy.heartbeat(now):
                     continue

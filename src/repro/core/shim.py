@@ -19,15 +19,22 @@ an application's ranks (collapsed-driver style).
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from ..cluster.gpu import DeviceBuffer, Event, GpuDevice, Stream
 from ..cluster.ipc import IpcMemHandle
 from ..collectives.types import Collective, ReduceOp
-from ..netsim.errors import MccsError
+from ..netsim.errors import (
+    AdmissionRejectedError,
+    InvalidBufferError,
+    MccsError,
+    ServiceUnavailableError,
+)
 from .communicator import CollectiveInstance
 from .deployment import MccsDeployment
 from .messages import (
@@ -87,25 +94,90 @@ class MccsCommunicator:
 
 
 @dataclass
+class ShimRetryPolicy:
+    """Client-side resilience knobs (capped exponential backoff + jitter).
+
+    A shim call that hits a down service (:class:`ServiceUnavailableError`)
+    is re-queued on the *simulated* clock — collectives are often issued
+    from completion callbacks in the middle of a run, so blocking retries
+    are impossible — and reissued against whatever frontend engine the
+    restarted service provides.  Admission sheds are provider *decisions*
+    and are never retried.
+    """
+
+    max_retries: int = 8
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.05
+    #: Each delay is multiplied by ``1 + uniform(0, jitter)`` so a fleet
+    #: of retrying tenants does not stampede the restarted service.
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(
+            self.backoff_base * self.backoff_factor**attempt,
+            self.backoff_cap,
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
 class ClientCollective:
-    """Client-side view of one issued collective."""
+    """Client-side view of one issued collective.
+
+    While the service is down the collective may sit in the shim's retry
+    queue: ``instance`` is ``None`` and :attr:`pending` is true.  It
+    resolves to either a live instance (reissued after the restart) or a
+    typed ``error`` — a shim collective never silently hangs.
+    """
 
     comm: MccsCommunicator
     seq: int
     kind: Collective
     out_bytes: int
-    instance: CollectiveInstance
+    instance: Optional[CollectiveInstance] = None
+    error: Optional[BaseException] = None
+    #: Reissue attempts this collective consumed (0 = first try worked).
+    retries: int = 0
+
+    @property
+    def pending(self) -> bool:
+        """Still waiting in the shim's retry queue."""
+        return self.instance is None and self.error is None
+
+    @property
+    def failed(self) -> bool:
+        if self.error is not None:
+            return True
+        return self.instance is not None and self.instance.aborted
 
     @property
     def completed(self) -> bool:
-        return self.instance.completed
+        return self.instance is not None and self.instance.completed
 
     def duration(self) -> float:
+        if self.instance is None:
+            raise MccsError(
+                f"collective never reached the service: {self.error}"
+                if self.error is not None
+                else "collective still queued for reissue"
+            )
         return self.instance.duration()
 
     @property
     def end_time(self) -> Optional[float]:
-        return self.instance.end_time
+        return self.instance.end_time if self.instance is not None else None
+
+
+@dataclass
+class _PendingIssue:
+    """One collective waiting in the per-communicator reissue queue."""
+
+    collective: ClientCollective
+    request: CollectiveRequest
+    stream: Optional[Stream]
+    on_complete: Optional[Callable[[CollectiveInstance, float], None]]
+    attempt: int = 0
 
 
 BufferArg = Union[MccsBuffer, BufferRef]
@@ -114,12 +186,28 @@ BufferArg = Union[MccsBuffer, BufferRef]
 class MccsClient:
     """The shim library instance of one application."""
 
-    def __init__(self, deployment: MccsDeployment, app_id: str) -> None:
+    def __init__(
+        self,
+        deployment: MccsDeployment,
+        app_id: str,
+        retry: Optional[ShimRetryPolicy] = None,
+    ) -> None:
         self.deployment = deployment
         self.app_id = app_id
         self.cluster = deployment.cluster
         self.buffers: Dict[int, MccsBuffer] = {}
         self.communicators: Dict[int, MccsCommunicator] = {}
+        self.retry = retry if retry is not None else ShimRetryPolicy()
+        # Deterministic jitter: seeded from the app id (crc32, not hash()
+        # — Python string hashes vary between runs).
+        self._rng = random.Random(zlib.crc32(app_id.encode()))
+        #: comm_id -> FIFO of collectives awaiting reissue.  Program order
+        #: is preserved: while the queue is non-empty, new collectives on
+        #: that communicator join the back instead of being issued.
+        self._reissue: Dict[int, List[_PendingIssue]] = {}
+        self._pump_scheduled: Set[int] = set()
+        self.retries_total = 0
+        self.giveups_total = 0
 
     # ------------------------------------------------------------------
     def _queue_for(self, gpu: GpuDevice):
@@ -160,15 +248,47 @@ class MccsClient:
 
         The order matters — §4.1: "the shim is responsible for closing the
         inter-process memory handle before forwarding the request".
+        A free that hits a down service is retried in the background once
+        the service restarts (the service-side free is idempotent, so a
+        retry can never double-release).
         """
         if buf.freed:
-            raise MccsError(f"double free of buffer {buf.buffer_id}")
+            raise InvalidBufferError(
+                f"double free of buffer {buf.buffer_id} by {self.app_id!r}"
+            )
         self._count_call("free")
         host = self.cluster.hosts[buf.gpu.host_id]
         host.ipc.close_memory(buf.handle)
-        self._queue_for(buf.gpu).call(FreeRequest(buffer_id=buf.buffer_id))
+        try:
+            self._queue_for(buf.gpu).call(FreeRequest(buffer_id=buf.buffer_id))
+        except ServiceUnavailableError:
+            self._count_retry()
+            self._retry_free(buf, attempt=0)
         buf.freed = True
         del self.buffers[buf.buffer_id]
+
+    def _retry_free(self, buf: MccsBuffer, attempt: int) -> None:
+        """Fire-and-forget reissue of a FreeRequest after an outage."""
+        if attempt >= self.retry.max_retries:
+            self._count_giveup("free")
+            return
+
+        def fire() -> None:
+            try:
+                self._queue_for(buf.gpu).call(
+                    FreeRequest(buffer_id=buf.buffer_id)
+                )
+            except ServiceUnavailableError:
+                self._count_retry()
+                self._retry_free(buf, attempt + 1)
+            except InvalidBufferError:
+                # The original free did land (or replay marked it freed):
+                # idempotence means there is nothing left to do.
+                pass
+
+        self.cluster.sim.call_in(
+            self.retry.delay(attempt, self._rng), fire
+        )
 
     # ------------------------------------------------------------------
     # communicator management
@@ -324,22 +444,100 @@ class MccsClient:
             stream_id=stream.stream_id if stream is not None else -1,
             stream_event=stream_event_handle,
         )
-        response = self._queue_for(comm.gpus[0]).call(request)
+        collective = ClientCollective(
+            comm=comm, seq=-1, kind=kind, out_bytes=out_bytes
+        )
+        item = _PendingIssue(
+            collective=collective,
+            request=request,
+            stream=stream,
+            on_complete=on_complete,
+        )
+        queue = self._reissue.get(comm.comm_id)
+        if queue:
+            # Earlier collectives on this communicator are still waiting
+            # out an outage; join the back to preserve program order.
+            queue.append(item)
+            return collective
+        try:
+            self._issue(item)
+        except ServiceUnavailableError:
+            self._count_retry()
+            self._reissue.setdefault(comm.comm_id, []).append(item)
+            self._schedule_pump(comm.comm_id, item.attempt)
+        return collective
+
+    def _issue(self, item: _PendingIssue) -> None:
+        """One issue attempt; raises ServiceUnavailableError while down."""
+        comm = item.collective.comm
+        root_host = self.cluster.hosts[comm.gpus[0].host_id]
+        response = self._queue_for(comm.gpus[0]).call(item.request)
         assert isinstance(response, CollectiveResponse)
         service_comm = self.deployment.communicator(comm.comm_id)
         instance = service_comm.instances[response.seq]
-        if on_complete is not None:
-            self._chain_callback(instance, on_complete)
-        if stream is not None and response.done_event is not None:
+        item.collective.seq = response.seq
+        item.collective.instance = instance
+        item.collective.retries = item.attempt
+        if item.on_complete is not None:
+            self._chain_callback(instance, item.on_complete)
+        if item.stream is not None and response.done_event is not None:
             done = root_host.ipc.open_event(response.done_event)
-            stream.wait_event(done)
-        return ClientCollective(
-            comm=comm,
-            seq=response.seq,
-            kind=kind,
-            out_bytes=out_bytes,
-            instance=instance,
+            item.stream.wait_event(done)
+
+    # ------------------------------------------------------------------
+    # outage handling: deferred reissue on the simulated clock
+    # ------------------------------------------------------------------
+    def _schedule_pump(self, comm_id: int, attempt: int) -> None:
+        if comm_id in self._pump_scheduled:
+            return
+        self._pump_scheduled.add(comm_id)
+        self.cluster.sim.call_in(
+            self.retry.delay(attempt, self._rng),
+            lambda: self._pump(comm_id),
         )
+
+    def _pump(self, comm_id: int) -> None:
+        """Drain the reissue queue head-first (FIFO preserves seq order)."""
+        self._pump_scheduled.discard(comm_id)
+        queue = self._reissue.get(comm_id)
+        while queue:
+            item = queue[0]
+            try:
+                self._issue(item)
+            except ServiceUnavailableError as exc:
+                item.attempt += 1
+                if item.attempt > self.retry.max_retries:
+                    self._fail_issue(item, exc)
+                    queue.pop(0)
+                    continue
+                self._count_retry()
+                self._schedule_pump(comm_id, item.attempt)
+                return
+            except (AdmissionRejectedError, MccsError) as exc:
+                # Typed decision or hard error: surface it, never retry.
+                self._fail_issue(item, exc)
+                queue.pop(0)
+                continue
+            queue.pop(0)
+        self._reissue.pop(comm_id, None)
+
+    def _fail_issue(self, item: _PendingIssue, error: BaseException) -> None:
+        item.collective.error = error
+        self._count_giveup(item.collective.kind.value)
+
+    def _count_retry(self) -> None:
+        self.retries_total += 1
+        self.deployment.telemetry().metrics.counter(
+            "mccs_shim_retries_total",
+            "Shim requests re-queued because the service was unavailable.",
+        ).inc(app=self.app_id)
+
+    def _count_giveup(self, call: str) -> None:
+        self.giveups_total += 1
+        self.deployment.telemetry().metrics.counter(
+            "mccs_shim_giveups_total",
+            "Shim requests abandoned with a typed error, by call.",
+        ).inc(app=self.app_id, call=call)
 
     @staticmethod
     def _chain_callback(

@@ -1,0 +1,66 @@
+"""Crash supervision for the per-host MCCS services.
+
+A production MCCS service runs under a process supervisor (systemd, a
+k8s liveness probe) that restarts it when it dies.  This module is that
+supervisor: it subscribes to every service's crash notification and, a
+configurable delay later, restarts the service by journal replay
+(:meth:`~repro.core.service.MccsService.restart`).
+
+The supervisor also answers the question failure recovery needs during
+the outage window: *is this service coming back?*
+:meth:`ServiceSupervisor.restart_pending` lets
+:class:`~repro.core.recovery.RecoveryManager` distinguish a dead rank
+(host crash — reform around it) from a temporarily dark one (service
+crash with a restart scheduled — wait it out).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .deployment import MccsDeployment
+    from .service import MccsService
+
+
+class ServiceSupervisor:
+    """Restarts crashed services after a fixed delay (journal replay)."""
+
+    def __init__(
+        self, deployment: "MccsDeployment", restart_delay: float = 0.02
+    ) -> None:
+        self.deployment = deployment
+        self.restart_delay = restart_delay
+        self.sim = deployment.sim
+        self.telemetry = deployment.telemetry()
+        self._pending: Set[int] = set()
+        #: host_id -> restarts performed by this supervisor
+        self.restarts: Dict[int, int] = {}
+
+    def restart_pending(self, host_id: int) -> bool:
+        """True while a restart of this host's service is scheduled."""
+        return host_id in self._pending
+
+    def notify_crash(self, service: "MccsService") -> None:
+        """Crash callback from :meth:`MccsService.crash`."""
+        host_id = service.host.host_id
+        if host_id in self._pending:
+            return
+        self._pending.add(host_id)
+        self.sim.call_in(self.restart_delay, lambda: self._restart(host_id))
+
+    def _restart(self, host_id: int) -> None:
+        self._pending.discard(host_id)
+        service = self.deployment.service_of(host_id)
+        if service.alive:
+            return
+        if not service.host.alive:
+            # The whole host died out from under the service; a process
+            # supervisor cannot help — recovery reforms around the host.
+            return
+        service.restart()
+        self.restarts[host_id] = self.restarts.get(host_id, 0) + 1
+        self.telemetry.metrics.counter(
+            "mccs_supervised_restarts_total",
+            "Service restarts performed by the crash supervisor.",
+        ).inc(host=f"h{host_id}")

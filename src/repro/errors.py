@@ -8,6 +8,7 @@ import location.)
 """
 
 from .netsim.errors import (
+    AdmissionRejectedError,
     AllocationError,
     ClusterError,
     CollectiveError,
@@ -17,6 +18,7 @@ from .netsim.errors import (
     HeartbeatTimeoutError,
     HostCrashedError,
     InvalidBufferError,
+    JournalError,
     LinkDownError,
     MccsError,
     NetSimError,
@@ -26,13 +28,17 @@ from .netsim.errors import (
     PolicyError,
     ReconfigurationError,
     ReproError,
+    ServiceCrashedError,
+    ServiceUnavailableError,
     SimulationError,
     UnknownLinkError,
     UnknownNodeError,
+    UpgradeError,
 )
 from .cluster.ipc import IpcError
 
 __all__ = [
+    "AdmissionRejectedError",
     "AllocationError",
     "ClusterError",
     "CollectiveError",
@@ -43,6 +49,7 @@ __all__ = [
     "HostCrashedError",
     "InvalidBufferError",
     "IpcError",
+    "JournalError",
     "LinkDownError",
     "MccsError",
     "NetSimError",
@@ -52,7 +59,10 @@ __all__ = [
     "PolicyError",
     "ReconfigurationError",
     "ReproError",
+    "ServiceCrashedError",
+    "ServiceUnavailableError",
     "SimulationError",
     "UnknownLinkError",
     "UnknownNodeError",
+    "UpgradeError",
 ]

@@ -15,6 +15,7 @@ from . import (
     fig10_dynamic,
     fig11_simulation,
     fig_autotune,
+    fig_crashloop,
     fig_failover,
 )
 from .report import Stat, cdf_points, format_table, geometric_mean, print_table
@@ -37,6 +38,7 @@ ALL_FIGURES = {
     "fig11": fig11_simulation,
     "failover": fig_failover,
     "autotune": fig_autotune,
+    "crashloop": fig_crashloop,
 }
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "fig10_dynamic",
     "fig11_simulation",
     "fig_autotune",
+    "fig_crashloop",
     "fig_failover",
     "format_table",
     "geometric_mean",

@@ -70,6 +70,10 @@ class FaultInjector:
                 event.host_id, event.nic_index
             ),
             FaultKind.HOST_CRASH: lambda: self.crash_host(event.host_id),
+            FaultKind.SERVICE_CRASH: lambda: self.crash_service(event.host_id),
+            FaultKind.ENGINE_RESTART: lambda: self.restart_service(
+                event.host_id
+            ),
         }[event.kind]
         handler()
         self.injected.append((self.sim.now, event))
@@ -147,3 +151,28 @@ class FaultInjector:
         if self.deployment is not None:
             for proxy in self.deployment.service_of(host_id).proxies.values():
                 proxy.fail(HostCrashedError(f"host {host_id} crashed"))
+
+    # ------------------------------------------------------------------
+    # service-process faults
+    # ------------------------------------------------------------------
+    def crash_service(self, host_id: int) -> None:
+        """Kill the MCCS service process on ``host_id``.
+
+        The host, its GPUs, and the network all survive — only the
+        control-plane process dies.  Without a deployment there is no
+        service process to kill, so this is a documented no-op.
+        """
+        if self.deployment is None:
+            return
+        if not self.cluster.hosts[host_id].alive:
+            return
+        self.deployment.crash_service(host_id)
+
+    def restart_service(self, host_id: int) -> None:
+        """Restart a crashed service (journal replay).  No-op without a
+        deployment or while the host itself is down."""
+        if self.deployment is None:
+            return
+        if not self.cluster.hosts[host_id].alive:
+            return
+        self.deployment.restart_service(host_id)

@@ -27,6 +27,10 @@ class FaultKind(str, Enum):
     NIC_FAIL = "nic_fail"
     NIC_RECOVER = "nic_recover"
     HOST_CRASH = "host_crash"
+    #: The per-host MCCS *service process* dies; host and GPUs survive.
+    SERVICE_CRASH = "service_crash"
+    #: The service process is restarted (journal replay).
+    ENGINE_RESTART = "engine_restart"
 
 
 #: Kinds that target a link id.
@@ -38,6 +42,8 @@ _LINK_KINDS = {
 }
 #: Kinds that target a (host, nic) pair.
 _NIC_KINDS = {FaultKind.NIC_FAIL, FaultKind.NIC_RECOVER}
+#: Kinds that target a host's service process.
+_SERVICE_KINDS = {FaultKind.SERVICE_CRASH, FaultKind.ENGINE_RESTART}
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,8 @@ class FaultEvent:
             raise ValueError(f"{self.kind.value} needs host_id and nic_index")
         if self.kind is FaultKind.HOST_CRASH and self.host_id is None:
             raise ValueError("host_crash needs a host_id")
+        if self.kind in _SERVICE_KINDS and self.host_id is None:
+            raise ValueError(f"{self.kind.value} needs a host_id")
         if self.kind is FaultKind.LINK_DEGRADE and not 0.0 < self.factor < 1.0:
             raise ValueError("degrade factor must be in (0, 1)")
 
@@ -164,6 +172,33 @@ class FaultPlan:
         """Crash ``host_id`` at ``time``.  Hosts do not come back."""
         return self.add(FaultEvent(time, FaultKind.HOST_CRASH, host_id=host_id))
 
+    def service_crash(
+        self, time: float, host_id: int, *, duration: Optional[float] = None
+    ) -> "FaultPlan":
+        """Kill the MCCS service process on ``host_id`` at ``time``.
+
+        Unlike a host crash, the host and its GPUs survive.  With
+        ``duration`` given, an :attr:`FaultKind.ENGINE_RESTART` is paired
+        that many seconds later (modelling an external supervisor); leave
+        it ``None`` when the deployment's own
+        :class:`~repro.core.supervisor.ServiceSupervisor` handles the
+        restart.
+        """
+        self.add(FaultEvent(time, FaultKind.SERVICE_CRASH, host_id=host_id))
+        if duration is not None:
+            self.add(
+                FaultEvent(
+                    time + duration, FaultKind.ENGINE_RESTART, host_id=host_id
+                )
+            )
+        return self
+
+    def engine_restart(self, time: float, host_id: int) -> "FaultPlan":
+        """Restart a previously crashed service on ``host_id``."""
+        return self.add(
+            FaultEvent(time, FaultKind.ENGINE_RESTART, host_id=host_id)
+        )
+
     def describe(self) -> List[str]:
         return [event.describe() for event in self.events]
 
@@ -183,6 +218,7 @@ class FaultPlan:
             FaultKind.LINK_DEGRADE,
             FaultKind.NIC_FAIL,
             FaultKind.HOST_CRASH,
+            FaultKind.SERVICE_CRASH,
         ),
         link_candidates: Optional[Sequence[str]] = None,
         host_candidates: Optional[Sequence[int]] = None,
@@ -236,4 +272,12 @@ class FaultPlan:
                 host_id = rng.choice(remaining)
                 crashed.add(host_id)
                 plan.host_crash(time, host_id)
+            elif kind is FaultKind.SERVICE_CRASH and host_candidates:
+                remaining = [h for h in host_candidates if h not in crashed]
+                if not remaining:
+                    continue
+                host_id = rng.choice(remaining)
+                # Transient service crashes pair an explicit restart; the
+                # rest rely on the deployment's supervisor (if armed).
+                plan.service_crash(time, host_id, duration=duration)
         return plan

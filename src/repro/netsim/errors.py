@@ -54,6 +54,15 @@ class HostCrashedError(FaultError):
     """A host crashed, taking its GPUs, NICs and proxy engines with it."""
 
 
+class ServiceCrashedError(FaultError):
+    """The per-host MCCS service process crashed (host and GPUs survive).
+
+    Unlike :class:`HostCrashedError`, the infrastructure is intact: the
+    service can be restarted and its control-plane state reconstructed by
+    replaying the write-ahead journal (``repro.core.journal``).
+    """
+
+
 class ClusterError(ReproError):
     """Base class for cluster-substrate errors."""
 
@@ -101,3 +110,28 @@ class HeartbeatTimeoutError(MccsError):
 
 class PolicyError(MccsError):
     """A policy module produced an inapplicable decision."""
+
+
+class ServiceUnavailableError(MccsError):
+    """A shim request reached a host whose MCCS service is down.
+
+    The condition is transient when a supervisor (or a scheduled
+    ``engine_restart`` fault event) will restart the service; the shim's
+    retry policy decides whether to re-issue or surface the error.
+    """
+
+
+class AdmissionRejectedError(MccsError):
+    """Admission control shed this request (tenant over its QoS quota).
+
+    A rejection is a *decision*, not a transient failure: the shim must
+    not retry it; the tenant is expected to back off or lower its rate.
+    """
+
+
+class UpgradeError(MccsError):
+    """A live service upgrade could not be performed as requested."""
+
+
+class JournalError(MccsError):
+    """The write-ahead state journal was used or replayed inconsistently."""

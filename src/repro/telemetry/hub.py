@@ -10,7 +10,7 @@ counter increment, span, and decision event lands in the same place.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from .events import EventLog
 from .exporters import chrome_trace, json_snapshot, prometheus_text
@@ -47,6 +47,16 @@ class TelemetryHub:
         self.network: Optional[NetworkTelemetry] = None
         self._sample_interval = sample_interval
         self._max_samples = max_samples
+        self._resilience_provider: Optional[
+            Callable[[], Dict[str, int]]
+        ] = None
+
+    def set_resilience_provider(
+        self, provider: Optional[Callable[[], Dict[str, int]]]
+    ) -> None:
+        """Install the callback publishing recovery/overload state
+        (journal size, crashes, restarts, sheds) into the summary."""
+        self._resilience_provider = provider
 
     # ------------------------------------------------------------------
     def attach_network(self, sim: "FlowSimulator") -> NetworkTelemetry:
@@ -108,4 +118,7 @@ class TelemetryHub:
             if cache_stats is not None:
                 for name, value in sorted(cache_stats.items()):
                     lines.append(f"program_cache.{name} = {value}")
+        if self._resilience_provider is not None:
+            for name, value in sorted(self._resilience_provider().items()):
+                lines.append(f"resilience.{name} = {value}")
         return lines

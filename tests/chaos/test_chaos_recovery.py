@@ -54,6 +54,9 @@ def run_chaos(seed: int, *, num_faults: int = 2, num_ops: int = 3) -> dict:
     deployment = MccsDeployment(cluster, ecmp_seed=seed)
     policy = RecoveryPolicy(collective_deadline=0.25)
     recovery = deployment.enable_recovery(policy, heartbeat_until=3.0)
+    # Service crashes (now in FaultPlan.random's default kind mix) are
+    # repaired by supervised journal-replay restarts.
+    deployment.enable_service_supervision()
     manager = CentralManager(deployment)
 
     victim_gpus = [cluster.hosts[h].gpus[0] for h in range(4)]
@@ -118,6 +121,14 @@ def assert_invariants(result: dict) -> None:
     plan_text = "; ".join(result["plan"].describe()) or "(no faults)"
     # 1. No hangs: every issued victim collective reached a terminal state.
     for op in result["victim_ops"]:
+        assert not op.pending, (
+            f"collective seq={op.seq} stuck in the shim retry queue "
+            f"under plan [{plan_text}]"
+        )
+        if op.instance is None:
+            # Never reached the service: must carry a typed give-up error.
+            assert isinstance(op.error, ReproError)
+            continue
         assert op.instance.end_time is not None, (
             f"collective seq={op.seq} never terminated under plan [{plan_text}]"
         )
@@ -146,6 +157,11 @@ def assert_invariants(result: dict) -> None:
     # 5. Blast radius: the co-located tenant is never disturbed.
     assert result["healthy_op"].completed, (
         f"healthy tenant disturbed by plan [{plan_text}]"
+    )
+    # 6. The journal stays replay-consistent with the live control plane
+    #    through every crash/restart the plan inflicted.
+    assert result["deployment"].verify_journal() == [], (
+        f"journal diverged under plan [{plan_text}]"
     )
 
 

@@ -169,6 +169,15 @@ class AdmissionController:
             "mccs_shed_total",
             "Requests shed by admission control, by app and QoS class.",
         ).inc(app=app_id, qos=qos)
+        self.telemetry.slo.record_shed(app_id)
+        if self.telemetry.flight is not None:
+            self.telemetry.flight.trigger(
+                "admission_shed",
+                self.deployment.sim.now,
+                tenant=app_id,
+                qos=qos,
+                cause=reason,
+            )
         raise AdmissionRejectedError(
             f"request from {app_id!r} shed by admission control ({reason})"
         )

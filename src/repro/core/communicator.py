@@ -32,6 +32,7 @@ from ..collectives.types import Collective, ReduceOp, validate_world
 from ..netsim.errors import FaultError, NoPathError, ReconfigurationError
 from ..netsim.flows import Flow
 from ..netsim.routing import RouteIdSelector, RouteMap
+from ..telemetry.causal import TraceContext
 from ..telemetry.hub import TelemetryHub
 from ..telemetry.spans import (
     EVENT_LAST_FLOW_END,
@@ -161,6 +162,9 @@ class CollectiveInstance:
     rank_versions: Dict[int, int] = field(default_factory=dict)
     #: Root lifecycle span (attached by the deployment's frontend path).
     span: Optional[Span] = None
+    #: Causal-trace identity minted by the frontend; threaded into every
+    #: flow tag, retry, journal record, and lifecycle event downstream.
+    trace_ctx: Optional[TraceContext] = None
     _phase_queued: Optional[Span] = None
     _phase_launch: Optional[Span] = None
     _phase_network: Optional[Span] = None
@@ -211,6 +215,23 @@ class CollectiveInstance:
         if self.end_time is None:
             raise ValueError(f"collective seq={self.seq} still in flight")
         return self.end_time - self.issue_time
+
+    # ------------------------------------------------------------------
+    # causal tracing
+    # ------------------------------------------------------------------
+    def _causal_annotate(self, kind: str, **attrs: object) -> None:
+        hub = self.comm.telemetry
+        if self.trace_ctx is not None and hub is not None and hub.causal is not None:
+            hub.causal.annotate(
+                self.trace_ctx.trace_id, self.comm.sim.now, kind, **attrs
+            )
+
+    def _causal_close(self, status: str) -> None:
+        hub = self.comm.telemetry
+        if self.trace_ctx is not None and hub is not None and hub.causal is not None:
+            hub.causal.close(
+                self.trace_ctx.trace_id, self.comm.sim.now, status
+            )
 
     # ------------------------------------------------------------------
     # telemetry spans
@@ -357,6 +378,11 @@ class CollectiveInstance:
                     "kind": self.kind.value,
                     "channel": transfer.channel,
                     "rank": rank,
+                    **(
+                        {"trace": self.trace_ctx.trace_id}
+                        if self.trace_ctx is not None
+                        else {}
+                    ),
                 },
                 on_complete=lambda f, _t: self._flow_done(f),
                 on_fail=lambda f, _t, err, rank=rank: self._flow_failed(
@@ -413,6 +439,7 @@ class CollectiveInstance:
             self.span.mark(
                 "rank_failed", self.comm.sim.now, rank=rank, error=str(error)
             )
+        self._causal_annotate("rank_failed", rank=rank, error=str(error))
         self.comm.on_instance_failure(self, rank, error)
 
     def abort(self, error: BaseException) -> None:
@@ -448,6 +475,8 @@ class CollectiveInstance:
                 "mccs_collectives_aborted_total",
                 "Collectives terminated by failure handling, by app.",
             ).inc(app=comm.app_id, kind=self.kind.value)
+            comm.telemetry.slo.record_abort(comm.app_id)
+        self._causal_close("aborted")
         comm.on_instance_finished(self)
         if self.kernel is not None:
             self.kernel.complete()
@@ -467,6 +496,11 @@ class CollectiveInstance:
                 f"cannot retry finished collective seq={self.seq}"
             )
         self.attempts += 1
+        hub = self.comm.telemetry
+        if self.trace_ctx is not None and hub is not None and hub.causal is not None:
+            hub.causal.new_attempt(self.trace_ctx.trace_id, self.comm.sim.now)
+        if hub is not None:
+            hub.slo.record_retry(self.comm.app_id)
         for flow in list(self._live_flows):
             self.comm.sim.cancel_flow(flow)
         self._live_flows.clear()
@@ -520,6 +554,13 @@ class CollectiveInstance:
                 "mccs_collective_duration_seconds",
                 "Issue-to-completion time of collectives, by app.",
             ).observe(self.end_time - self.issue_time, app=comm.app_id)
+            comm.telemetry.slo.record_completion(
+                comm.app_id,
+                self.end_time - self.issue_time,
+                self.out_bytes,
+                self.end_time,
+            )
+        self._causal_close("completed")
         # Retire from the active set before waking anyone: completion
         # callbacks may immediately destroy the communicator.
         comm.on_instance_finished(self)

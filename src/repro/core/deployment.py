@@ -182,7 +182,16 @@ class MccsDeployment:
             )
         elif policy is not None:
             self.admission.policy = policy
+        # SLO accounting resolves tenants to QoS classes through admission
+        # control once it is armed.
+        self._telemetry.slo.class_resolver = self.admission.class_of
         return self.admission
+
+    def configure_slo(self, policy) -> None:
+        """Install declarative per-QoS-class SLO targets
+        (:class:`~repro.telemetry.slo.SloPolicy`); violations emit
+        ``slo_violation`` events and flight-recorder dumps."""
+        self._telemetry.set_slo_policy(policy)
 
     def enable_service_supervision(
         self, restart_delay: float = 0.02
@@ -403,6 +412,18 @@ class MccsDeployment:
         send_views, recv_views = self._validated_views(app_id, comm, request)
         seq = comm.next_seq
         comm.next_seq += 1
+        tracer = self._telemetry.causal
+        trace_ctx = None
+        if tracer is not None:
+            trace_ctx = tracer.mint_context(
+                tenant=app_id,
+                comm_id=f"comm{comm.comm_id}",
+                seq=seq,
+                kind=request.kind.value,
+                nbytes=request.out_bytes,
+                strategy_version=comm.strategy.version,
+            )
+            tracer.begin(trace_ctx, self.sim.now)
         self.journal.append(
             self.sim.now,
             "collective_issued",
@@ -411,6 +432,9 @@ class MccsDeployment:
             seq=seq,
             kind=request.kind.value,
             bytes=request.out_bytes,
+            **(
+                {"trace": trace_ctx.trace_id} if trace_ctx is not None else {}
+            ),
         )
         span = self._telemetry.spans.begin(
             f"{request.kind.value} comm{comm.comm_id}.s{seq}",
@@ -421,6 +445,9 @@ class MccsDeployment:
             seq=seq,
             kind=request.kind.value,
             bytes=request.out_bytes,
+            **(
+                {"trace": trace_ctx.trace_id} if trace_ctx is not None else {}
+            ),
         )
         comm.trace.record_issue(
             seq, request.kind, request.out_bytes, self.sim.now, span=span
@@ -441,6 +468,11 @@ class MccsDeployment:
             send_views=send_views,
             recv_views=recv_views,
         )
+        instance.trace_ctx = trace_ctx
+        if trace_ctx is not None and tracer is not None:
+            trace = tracer.get(trace_ctx.trace_id)
+            if trace is not None:
+                trace.root_span_id = span.span_id
         comm.instances.append(instance)
         comm.active_instances.add(seq)
         instance.attach_span(span)
@@ -504,6 +536,20 @@ class MccsDeployment:
                 "mccs_collective_deadlines_total",
                 "Collective deadline expiries detected by the watchdog.",
             ).inc(app=comm.app_id)
+            self._telemetry.slo.record_deadline_miss(comm.app_id)
+            if self._telemetry.flight is not None:
+                self._telemetry.flight.trigger(
+                    "deadline",
+                    self.sim.now,
+                    trace_id=(
+                        instance.trace_ctx.trace_id
+                        if instance.trace_ctx is not None
+                        else None
+                    ),
+                    comm=comm.comm_id,
+                    seq=instance.seq,
+                    attempt=instance.attempts,
+                )
             comm.on_instance_failure(instance, None, error)
             self.sim.call_in(deadline, expired)
 

@@ -18,7 +18,7 @@ Record schema (``op`` -> payload keys):
 ``free``                app, host, buffer_id
 ``create_communicator`` app, comm_id, gpus, strategy
 ``install_strategy``    comm_id, strategy  (one per committed version)
-``collective_issued``   app, comm_id, seq, kind, bytes
+``collective_issued``   app, comm_id, seq, kind, bytes [, trace]
 ``destroy_communicator`` app, comm_id
 ``service_crash``       host, generation   (informational)
 ``service_restart``     host, generation, replayed  (informational)

@@ -169,6 +169,9 @@ class ProxyEngine:
                 EVENT_HELD, instance.comm.sim.now, rank=rank,
                 gpu=self.gpu_global_id,
             )
+        instance._causal_annotate(
+            "launch_held", rank=rank, gpu=self.gpu_global_id
+        )
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
                 "mccs_launches_held_total",

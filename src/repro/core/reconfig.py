@@ -230,6 +230,14 @@ class ReconfigSession:
                 "mccs_barrier_stall_seconds",
                 "Reconfiguration barrier stall (issue to AllGather resolve).",
             ).observe(self.resolve_time - self.issue_time)
+            if self.telemetry.causal is not None:
+                self.telemetry.causal.annotate_comm(
+                    f"comm{self.comm.comm_id}",
+                    self.resolve_time,
+                    "barrier_resolved",
+                    max_seq=max_seq,
+                    version=self.new_strategy.version,
+                )
         # All proxies learn the cut; the communicator adopts the new
         # strategy version so freshly retired connection tables know what
         # "current" means.

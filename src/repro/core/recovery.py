@@ -178,6 +178,10 @@ class RecoveryManager:
             self._cycles[comm.comm_id] = rec
             where = f"seq={instance.seq} " if instance is not None else ""
             self._log(comm, "failure_detected", f"{where}rank={rank}: {error}")
+        if instance is not None:
+            instance._causal_annotate(
+                "failure_detected", rank=rank, error=str(error)
+            )
         rec.errors.append(error)
         self._schedule_cycle(rec)
 
@@ -296,6 +300,13 @@ class RecoveryManager:
             f"retrying={[inst.seq for inst in rec.retrying]} "
             f"backoff={backoff:g}s",
         )
+        for inst in rec.retrying:
+            inst._causal_annotate(
+                "recovery_attempt",
+                attempt=rec.attempt,
+                fault=rec.kind,
+                backoff_s=backoff,
+            )
 
         attempt = rec.attempt
 
@@ -502,6 +513,13 @@ class HeartbeatMonitor:
                     "mccs_heartbeats_missed_total",
                     "Proxy liveness probes that went unanswered.",
                 ).inc()
+                if self.manager.telemetry.flight is not None:
+                    self.manager.telemetry.flight.trigger(
+                        "heartbeat_miss",
+                        now,
+                        gpu=proxy.gpu_global_id,
+                        host=proxy.host_id,
+                    )
                 self.manager.proxy_dead(proxy)
         if now + self.interval <= self.until + 1e-12:
             self.sim.call_in(self.interval, self._tick)

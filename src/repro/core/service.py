@@ -322,6 +322,10 @@ class MccsService:
                 f"MCCS service on host {self.host.host_id} crashed",
                 host=self.host.host_id,
             )
+            if self.telemetry.flight is not None:
+                self.telemetry.flight.trigger(
+                    "crash", self.cluster.sim.now, host=self.host.host_id
+                )
         if self.deployment is not None and self.deployment.supervisor is not None:
             self.deployment.supervisor.notify_crash(self)
 

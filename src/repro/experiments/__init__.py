@@ -14,6 +14,7 @@ from . import (
     fig09_qos,
     fig10_dynamic,
     fig11_simulation,
+    fig_attribution,
     fig_autotune,
     fig_crashloop,
     fig_failover,
@@ -39,6 +40,7 @@ ALL_FIGURES = {
     "failover": fig_failover,
     "autotune": fig_autotune,
     "crashloop": fig_crashloop,
+    "attribution": fig_attribution,
 }
 
 __all__ = [
@@ -54,6 +56,7 @@ __all__ = [
     "fig09_qos",
     "fig10_dynamic",
     "fig11_simulation",
+    "fig_attribution",
     "fig_autotune",
     "fig_crashloop",
     "fig_failover",

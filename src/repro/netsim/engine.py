@@ -298,6 +298,20 @@ class FlowSimulator:
     def link_capacity(self, link_id: str) -> float:
         return self._capacities[link_id]
 
+    def bottleneck_link_of(self, flow: Flow) -> Optional[str]:
+        """Link currently limiting ``flow``'s rate.
+
+        Incremental mode reads the solver's per-slot attribution from the
+        last allocation; legacy mode (and flows no longer registered with
+        the solver) fall back to the minimum-capacity link of the path —
+        the best static guess when per-round attribution is unavailable.
+        """
+        if self._inc is not None:
+            link = self._inc.bottleneck_of(flow.flow_id)
+            if link is not None:
+                return link
+        return min(flow.links, key=lambda l: self._capacities[l])
+
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
@@ -573,6 +587,13 @@ class FlowSimulator:
             # then re-anchor the ETA; the stale heap entry dies via epoch.
             self._settle(flow)
             flow.rate = float(rates[slot])
+            if flow._recorder is not None:
+                flow._recorder.on_rate_change(
+                    flow,
+                    self.now,
+                    flow.rate,
+                    self._inc.bottleneck_of_slot(int(slot)),
+                )
             flow._heap_epoch += 1
             self.heap_invalidations += 1
             if flow.end_time is None and not flow.gated and flow.rate > 0:
@@ -631,7 +652,10 @@ class FlowSimulator:
         solver = FairnessSolver(flows, self._effective_capacities(flows))
         rates = solver.solve()
         for flow in flows:
-            flow.rate = rates[flow.flow_id]
+            new_rate = rates[flow.flow_id]
+            if flow._recorder is not None and new_rate != flow.rate:
+                flow._recorder.on_rate_change(flow, self.now, new_rate, None)
+            flow.rate = new_rate
 
     def _effective_capacities(self, flows: List[Flow]) -> Dict[str, float]:
         """Per-recompute capacities, with the interference model applied.

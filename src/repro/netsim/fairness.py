@@ -200,6 +200,10 @@ class IncrementalFairnessSolver:
         self._active = np.zeros(0, dtype=bool)
         self._in_use = np.zeros(0, dtype=bool)
         self._rates = np.zeros(0, dtype=float)
+        # per-slot index of the link that froze the slot in the last solve
+        # (-1 = not frozen / unknown); the causal tracer reads this to
+        # attribute a flow's current rate to its bottleneck link.
+        self._bneck = np.full(0, -1, dtype=np.int64)
         # per-slot contiguous incidence span: slot -> (start, length)
         self._spans: List[Tuple[int, int]] = []
         self._flat_links = np.zeros(64, dtype=np.int64)
@@ -237,6 +241,7 @@ class IncrementalFairnessSolver:
         self._active[slot] = flow.active
         self._in_use[slot] = True
         self._rates[slot] = 0.0
+        self._bneck[slot] = -1
         k = len(link_idx)
         if self._nnz + k > len(self._flat_links):
             self._grow_flat(self._nnz + k)
@@ -285,6 +290,10 @@ class IncrementalFairnessSolver:
             new = np.zeros(size, dtype=bool)
             new[: len(old)] = old
             setattr(self, name, new)
+        old = self._bneck
+        new = np.full(size, -1, dtype=np.int64)
+        new[: len(old)] = old
+        self._bneck = new
 
     def _grow_flat(self, need: int) -> None:
         size = max(need, int(len(self._flat_links) * self._GROW) + 8)
@@ -322,6 +331,23 @@ class IncrementalFairnessSolver:
     # -- queries --------------------------------------------------------
     def flow_at(self, slot: int) -> Optional[Flow]:
         return self._flows[slot]
+
+    def bottleneck_of_slot(self, slot: int) -> Optional[str]:
+        """O(1) bottleneck lookup when the caller already holds the slot."""
+        idx = int(self._bneck[slot])
+        return self._link_ids[idx] if idx >= 0 else None
+
+    def bottleneck_of(self, flow_id: str) -> Optional[str]:
+        """Link that froze this flow's rate in the most recent solve.
+
+        ``None`` for unknown flows and for flows that were inactive (gated
+        or zero-weight path) when the last allocation ran.
+        """
+        slot = self._slot_of.get(flow_id)
+        if slot is None:
+            return None
+        idx = int(self._bneck[slot])
+        return self._link_ids[idx] if idx >= 0 else None
 
     def capacity(self, link_id: str) -> float:
         return float(self._caps[self._link_index[link_id]])
@@ -422,6 +448,7 @@ class IncrementalFairnessSolver:
             slot_lut = np.empty(len(alive), dtype=np.int64)
             slot_lut[active_slots] = np.arange(na)
             fs = slot_lut[fs]
+            self._bneck[active_slots] = -1
             w = self._weights[active_slots]
             wE = w[fs]  # per-entry weight of the entry's flow
             # Per-flow fill level: the water level ``best`` of the round
@@ -457,6 +484,9 @@ class IncrementalFairnessSolver:
                 freeze.fill(False)
                 freeze[fs[hit]] = True
                 levels[freeze] = best
+                # Attribute each frozen slot to the (a) bottleneck link
+                # that froze it, mapped back to global link/slot indices.
+                self._bneck[active_slots[fs[hit]]] = live_links[fl[hit]]
                 keep = ~freeze[fs]
                 fl = fl[keep]
                 fs = fs[keep]

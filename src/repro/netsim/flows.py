@@ -72,6 +72,11 @@ class Flow:
     #: Engine-managed heap-entry generation; bumping it invalidates any
     #: completion-time heap entry pushed for this flow.
     _heap_epoch: int = field(init=False, default=0, repr=False)
+    #: Optional per-flow rate recorder installed by the causal tracer;
+    #: the engine calls ``_recorder.on_rate_change(flow, now, rate,
+    #: bottleneck_link)`` whenever this flow's allocation moves, keeping
+    #: the hook O(changed flows) per recomputation.
+    _recorder: Optional[object] = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -104,6 +104,11 @@ def json_snapshot(hub: "TelemetryHub") -> Dict[str, object]:
     }
     if hub.network is not None:
         out["links"] = hub.network.utilization_snapshot()
+    slo_report = hub.slo.report()
+    if slo_report:
+        out["slo"] = slo_report
+    if hub.flight is not None and hub.flight.dumps():
+        out["flight"] = hub.flight.to_dict()
     return out
 
 
@@ -174,11 +179,20 @@ def chrome_trace(
     """
     tracks = _TrackAllocator()
     trace_events: List[Dict[str, object]] = []
+    #: trace id -> (pid, tid, ts) anchor of the earliest span carrying it;
+    #: lifecycle events referencing the same trace id get Chrome flow
+    #: arrows ("s"/"f") back to this anchor, so crash/recovery/shed
+    #: instants are visually causally bound to their collective.
+    anchors: Dict[str, Tuple[int, int, float]] = {}
+    flow_points: List[Tuple[str, int, int, float]] = []
 
     for span in spans.spans():
         process, track = _span_tracks(span)
         pid = tracks.pid(process)
         tid = tracks.tid(pid, track)
+        trace_ref = span.attrs.get("trace")
+        if trace_ref is not None and str(trace_ref) not in anchors:
+            anchors[str(trace_ref)] = (pid, tid, _us(span.start))
         if span.finished:
             args: Dict[str, object] = {"span_id": span.span_id}
             if span.parent_id is not None:
@@ -226,6 +240,44 @@ def chrome_trace(
                     "args": dict(event.attrs, message=event.message),
                 }
             )
+            trace_ref = event.attrs.get("trace")
+            if trace_ref is not None and str(trace_ref) in anchors:
+                flow_points.append(
+                    (str(trace_ref), pid, tid, _us(event.time))
+                )
+
+    # Flow arrows: one "s" at the collective's root span per referenced
+    # trace id, one "f" per lifecycle instant that names it.  Ids are
+    # assigned in sorted trace-id order, so output stays deterministic.
+    flow_ids = {t: i + 1 for i, t in enumerate(sorted({t for t, *_ in flow_points}))}
+    for trace_ref, flow_id in flow_ids.items():
+        a_pid, a_tid, a_ts = anchors[trace_ref]
+        trace_events.append(
+            {
+                "ph": "s",
+                "pid": a_pid,
+                "tid": a_tid,
+                "ts": a_ts,
+                "id": flow_id,
+                "name": "causal",
+                "cat": "causal",
+                "args": {"trace": trace_ref},
+            }
+        )
+    for trace_ref, pid, tid, ts in flow_points:
+        trace_events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "id": flow_ids[trace_ref],
+                "name": "causal",
+                "cat": "causal",
+                "args": {"trace": trace_ref},
+            }
+        )
 
     trace_events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
     return {

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
+from .causal import CausalTracer, FlightRecorder
 from .events import EventLog
 from .exporters import chrome_trace, json_snapshot, prometheus_text
 from .metrics import MetricsRegistry
 from .sampler import NetworkTelemetry
+from .slo import SloPolicy, SloTracker
 from .spans import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,11 +47,29 @@ class TelemetryHub:
         self.spans = SpanRecorder(max_spans=max_spans)
         self.events = EventLog(max_events=max_events)
         self.network: Optional[NetworkTelemetry] = None
+        #: Causal tracer + flight recorder, created with the network
+        #: attachment (they observe the same simulator).
+        self.causal: Optional[CausalTracer] = None
+        self.flight: Optional[FlightRecorder] = None
+        self.slo = SloTracker(metrics=self.metrics, events=self.events)
+        self.slo.on_violation = self._on_slo_violation
         self._sample_interval = sample_interval
         self._max_samples = max_samples
         self._resilience_provider: Optional[
             Callable[[], Dict[str, int]]
         ] = None
+
+    def set_slo_policy(self, policy: SloPolicy) -> None:
+        """Install the declarative per-QoS-class SLO targets."""
+        self.slo.policy = policy
+
+    def _on_slo_violation(
+        self, tenant: str, p99: float, target: float, now: float
+    ) -> None:
+        if self.flight is not None:
+            self.flight.trigger(
+                "slo_violation", now, tenant=tenant, p99=p99, target=target
+            )
 
     def set_resilience_provider(
         self, provider: Optional[Callable[[], Dict[str, int]]]
@@ -60,13 +80,24 @@ class TelemetryHub:
 
     # ------------------------------------------------------------------
     def attach_network(self, sim: "FlowSimulator") -> NetworkTelemetry:
-        """Hook the flow-level sampler into ``sim`` (idempotent)."""
+        """Hook the flow-level sampler into ``sim`` (idempotent).
+
+        Also arms the causal tracer and its flight recorder: causal
+        tracing is always-on for any deployment with a network attached.
+        """
         if self.network is None:
             self.network = NetworkTelemetry(
                 sim,
                 self.metrics,
                 sample_interval=self._sample_interval,
                 max_samples=self._max_samples,
+            )
+        if self.causal is None:
+            self.causal = CausalTracer(
+                sim, events=self.events, metrics=self.metrics
+            )
+            self.flight = FlightRecorder(
+                self.causal, events=self.events, metrics=self.metrics
             )
         return self.network
 

@@ -1,0 +1,104 @@
+"""Guard BENCH_netsim.json throughput against regressions.
+
+Compares a freshly generated ``BENCH_netsim.json`` against the committed
+baseline (``git show HEAD:BENCH_netsim.json`` by default) and fails if
+any ``events_per_sec`` shared by both files regressed more than the
+tolerance.  Used two ways:
+
+* as the CI compare step, after the bench job rewrites the file::
+
+      python benchmarks/compare_bench.py
+
+* imported by ``benchmarks/test_netsim_core.py``, which runs the same
+  check in-process against the results it just measured.
+
+Only keys present in *both* files are compared, so adding or renaming
+benchmark points never trips the guard; a point that got slower does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_netsim.json"
+
+#: Sections holding throughput points keyed by scenario name.
+THROUGHPUT_SECTIONS = ("event_loop", "scale_curve")
+
+#: Allowed fractional slowdown before the compare step fails.  The bench
+#: runners are noisy shared machines; 30% is the contract from the scale
+#: work (genuine regressions from algorithmic changes are much larger).
+TOLERANCE = 0.30
+
+
+def compare_throughput(
+    baseline: Dict, fresh: Dict, tolerance: float = TOLERANCE
+) -> List[str]:
+    """Return a list of human-readable regression descriptions (empty = ok)."""
+    failures = []
+    for section in THROUGHPUT_SECTIONS:
+        base_section = baseline.get(section) or {}
+        fresh_section = fresh.get(section) or {}
+        for key in sorted(set(base_section) & set(fresh_section)):
+            old = (base_section[key] or {}).get("events_per_sec")
+            new = (fresh_section[key] or {}).get("events_per_sec")
+            if not old or not new:
+                continue
+            if new < old * (1.0 - tolerance):
+                failures.append(
+                    f"{section}[{key}]: {new:,.0f} events/s vs committed "
+                    f"{old:,.0f} ({100.0 * (new / old - 1.0):+.0f}%, "
+                    f"tolerance -{100.0 * tolerance:.0f}%)"
+                )
+    return failures
+
+
+def committed_baseline(path: Path = BENCH_PATH) -> Dict:
+    """The committed version of the bench file (empty dict if unborn)."""
+    rel = path.relative_to(REPO_ROOT)
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{rel.as_posix()}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return {}
+    return json.loads(proc.stdout)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=BENCH_PATH,
+        help="freshly generated bench file (default: repo BENCH_netsim.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=TOLERANCE,
+        help="allowed fractional events_per_sec slowdown",
+    )
+    args = parser.parse_args(argv)
+    baseline = committed_baseline()
+    fresh = json.loads(args.fresh.read_text())
+    failures = compare_throughput(baseline, fresh, args.tolerance)
+    if failures:
+        print("throughput regressions vs committed BENCH_netsim.json:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    compared = sum(
+        len(set(baseline.get(s) or {}) & set(fresh.get(s) or {}))
+        for s in THROUGHPUT_SECTIONS
+    )
+    print(f"no events_per_sec regressions ({compared} points compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

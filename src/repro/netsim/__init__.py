@@ -21,11 +21,13 @@ from .errors import (
 from .fabric import (
     Fabric,
     FabricSpec,
+    MultiPodSpec,
     RingFabricSpec,
     fabric_paths,
     intra_host_path,
     large_cluster_fabric,
     local_link_id,
+    multi_pod_clos,
     nic_node,
     spine_leaf,
     spine_links,
@@ -34,13 +36,17 @@ from .fabric import (
 )
 from .fairness import FairnessSolver, bottleneck_rate, link_loads, progressive_filling
 from .flows import Flow
+from .macroflow import MacroFlowSolver
+from .sharding import ShardedFairnessSolver
 from .routing import (
+    ClosEcmpSelector,
     ConnectionKey,
     EcmpSelector,
     PathSelector,
     RandomSelector,
     RouteIdSelector,
     RouteMap,
+    clos_path,
     ecmp_hash,
 )
 from .topology import Link, Node, Topology
@@ -49,6 +55,7 @@ from . import units
 __all__ = [
     "BackgroundFlow",
     "BackgroundTrafficManager",
+    "ClosEcmpSelector",
     "ConnectionKey",
     "EcmpSelector",
     "Fabric",
@@ -57,6 +64,8 @@ __all__ = [
     "Flow",
     "FlowSimulator",
     "Link",
+    "MacroFlowSolver",
+    "MultiPodSpec",
     "NetSimError",
     "NoPathError",
     "Node",
@@ -66,17 +75,20 @@ __all__ = [
     "RingFabricSpec",
     "RouteIdSelector",
     "RouteMap",
+    "ShardedFairnessSolver",
     "SimulationError",
     "Topology",
     "UnknownLinkError",
     "UnknownNodeError",
     "bottleneck_rate",
+    "clos_path",
     "ecmp_hash",
     "fabric_paths",
     "intra_host_path",
     "large_cluster_fabric",
     "link_loads",
     "local_link_id",
+    "multi_pod_clos",
     "nic_node",
     "progressive_filling",
     "spine_leaf",

@@ -193,6 +193,115 @@ def large_cluster_fabric() -> Fabric:
 
 
 @dataclass
+class MultiPodSpec:
+    """Parameters of a three-tier multi-pod Clos (fat-tree) fabric.
+
+    A *pod* is a self-contained spine-leaf Clos; pods are joined by a
+    core tier every pod spine uplinks into.  Intra-pod traffic never
+    leaves the pod, which is what the sharded fairness solver exploits:
+    pod-local flow populations form independent fairness domains.
+
+    Defaults build a 4-pod / 1024-GPU fabric; the ROADMAP north-star
+    scales (e.g. ``pods=16, leaves_per_pod=16``, 8192 GPUs, or
+    ``pods=32, leaves_per_pod=16, hosts_per_leaf=8``, 32768 GPUs) are a
+    spec away — construction is O(nodes + links) with no path search.
+    """
+
+    pods: int = 4
+    spines_per_pod: int = 4
+    leaves_per_pod: int = 8
+    hosts_per_leaf: int = 4
+    nics_per_host: int = 8
+    core_switches: int = 4
+    nic_gbps: float = 200.0
+    fabric_gbps: float = 200.0
+    core_gbps: float = 400.0
+    local_gBps: float = 2400.0
+    name: str = "multi-pod-clos"
+
+    @property
+    def hosts_per_pod(self) -> int:
+        return self.leaves_per_pod * self.hosts_per_leaf
+
+    @property
+    def num_hosts(self) -> int:
+        return self.pods * self.hosts_per_pod
+
+    @property
+    def gpus(self) -> int:
+        """One GPU per NIC, matching the paper's host model."""
+        return self.num_hosts * self.nics_per_host
+
+    def pod_of_host(self, host: int) -> int:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_pod
+
+    def leaf_of_host(self, host: int) -> int:
+        """Global leaf index (pod-major) of ``host``."""
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_leaf
+
+    def hosts_of_leaf(self, leaf: int) -> List[int]:
+        return list(
+            range(leaf * self.hosts_per_leaf, (leaf + 1) * self.hosts_per_leaf)
+        )
+
+
+def multi_pod_clos(spec: MultiPodSpec | None = None) -> Fabric:
+    """Build a three-tier multi-pod Clos fabric from ``spec``.
+
+    Node naming (host numbering is global and pod-major, so
+    :func:`nic_node` endpoints stay compatible with the cluster layer):
+
+    * cores:  ``core0``, ``core1``, ...
+    * spines: ``pod{p}.spine{s}`` (uplinked to every core)
+    * leaves: ``pod{p}.leaf{l}`` (uplinked to every spine of pod ``p``)
+    * NICs / local links: as in :func:`spine_leaf`
+
+    Every switch and NIC node carries a ``pod`` attribute for
+    pod-aware placement and shard diagnostics.
+    """
+    spec = spec or MultiPodSpec()
+    topo = Topology(spec.name)
+    for c in range(spec.core_switches):
+        topo.add_node(f"core{c}", kind="core")
+    for p in range(spec.pods):
+        for s in range(spec.spines_per_pod):
+            spine = f"pod{p}.spine{s}"
+            topo.add_node(spine, kind="spine", pod=p)
+            for c in range(spec.core_switches):
+                topo.add_duplex_link(spine, f"core{c}", gbps(spec.core_gbps))
+        for l in range(spec.leaves_per_pod):
+            leaf = f"pod{p}.leaf{l}"
+            topo.add_node(leaf, kind="leaf", pod=p)
+            for s in range(spec.spines_per_pod):
+                topo.add_duplex_link(
+                    leaf, f"pod{p}.spine{s}", gbps(spec.fabric_gbps)
+                )
+    for host in range(spec.num_hosts):
+        pod = spec.pod_of_host(host)
+        leaf = f"pod{pod}.leaf{spec.leaf_of_host(host) % spec.leaves_per_pod}"
+        for k in range(spec.nics_per_host):
+            topo.add_node(nic_node(host, k), kind="nic", host=host, nic=k, pod=pod)
+            topo.add_duplex_link(nic_node(host, k), leaf, gbps(spec.nic_gbps))
+        topo.add_node(f"h{host}.local.src", kind="local", host=host, pod=pod)
+        topo.add_node(f"h{host}.local.dst", kind="local", host=host, pod=pod)
+        topo.add_link(
+            f"h{host}.local.src",
+            f"h{host}.local.dst",
+            gBps(spec.local_gBps),
+            link_id=local_link_id(host),
+        )
+    _share_paths(("multi-pod-clos", *astuple(spec)), topo)
+    fabric = Fabric(
+        spec=spec, topology=topo, num_fabric_paths=spec.spines_per_pod
+    )
+    return fabric
+
+
+@dataclass
 class RingFabricSpec:
     """Parameters for the Figure 7 showcase fabric."""
 

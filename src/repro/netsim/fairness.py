@@ -163,6 +163,17 @@ class FairnessSolver:
         return result
 
 
+#: Live-entry count at or below which :meth:`IncrementalFairnessSolver.
+#: solve` runs its scalar (pure-Python) progressive-filling core instead
+#: of the vectorized one.  Small problems are dominated by numpy call
+#: overhead (~1 µs per op, ~15 ops per round); the scalar core performs
+#: the *same arithmetic in the same order*, so the allocation is
+#: bit-identical either way (asserted by the hypothesis churn suite).
+SCALAR_SOLVE_MAX_ENTRIES = 96
+
+_EMPTY_CHANGED = np.zeros(0, dtype=np.int64)
+
+
 class IncrementalFairnessSolver:
     """Persistent weighted max-min solver with O(Δ) structural updates.
 
@@ -176,10 +187,16 @@ class IncrementalFairnessSolver:
     :attr:`full_rebuilds` so telemetry can show rebuilds being replaced by
     Δ-updates.
 
-    :meth:`solve` runs the same vectorized progressive filling as
+    :meth:`solve` runs the same progressive filling as
     :class:`FairnessSolver` over the persistent arrays and returns the
     slots whose rate actually moved, which is what lets the engine
-    invalidate only the completion-heap entries that changed.
+    invalidate only the completion-heap entries that changed.  A solve
+    with no pending structural deltas is answered from the cached
+    allocation (``solves_skipped``), and sub-:data:`SCALAR_SOLVE_MAX_ENTRIES`
+    problems take a scalar fast path — both bit-identical to the full
+    vectorized solve.  ``solve_epoch`` increments whenever the allocation
+    may have moved; the derived views (:meth:`rates_by_id`,
+    :meth:`link_loads`, :meth:`link_utilization`) are cached on it.
     """
 
     _GROW = 1.5
@@ -200,6 +217,11 @@ class IncrementalFairnessSolver:
         self._active = np.zeros(0, dtype=bool)
         self._in_use = np.zeros(0, dtype=bool)
         self._rates = np.zeros(0, dtype=float)
+        # per-slot water level of the round that froze the slot in the
+        # last solve; a slot's rate is exactly ``weight * level``.  Macro
+        # aggregation reconstructs member rates from this (see
+        # :mod:`repro.netsim.macroflow`).
+        self._levels = np.zeros(0, dtype=float)
         # per-slot index of the link that froze the slot in the last solve
         # (-1 = not frozen / unknown); the causal tracer reads this to
         # attribute a flow's current rate to its bottleneck link.
@@ -212,21 +234,67 @@ class IncrementalFairnessSolver:
         self._dead_nnz = 0
         self._loads = np.zeros(len(self._caps), dtype=float)
         self._loads_stale = False
+        # slots whose rate was force-zeroed since the last solve (flow
+        # removed or gated while carrying a nonzero rate); they are part
+        # of the next solve's changed set without scanning every slot.
+        self._deactivated: List[int] = []
+        # path -> precomputed link-index list (append-only link index
+        # keeps these valid across add_links()).
+        self._path_idx: Dict[Tuple[str, ...], List[int]] = {}
+        # epoch-keyed caches of the derived dict views
+        self.solve_epoch = 0
+        self._rates_by_id_cache: Tuple[int, Dict[str, float]] = (-1, {})
+        self._loads_cache: Tuple[int, Dict[str, float]] = (-1, {})
+        self._util_cache: Tuple[int, float, Dict[str, float]] = (-1, 0.0, {})
         # counters (read by the engine's perf_counters())
         self.full_rebuilds = 1  # the initial build
         self.delta_updates = 0
         self.delta_flows_total = 0
         self.last_delta = 0
+        self.solves_skipped = 0
+        self.scalar_solves = 0
         self._pending_delta = 0
+        self._solved_once = False
+        self._last_override = False
+
+    @property
+    def num_links(self) -> int:
+        return len(self._link_ids)
+
+    def flow_count(self) -> int:
+        """Registered (non-tombstoned) flows."""
+        return len(self._slot_of)
 
     # -- structural updates (all O(Δ)) ---------------------------------
+    def add_links(self, capacities: Mapping[str, float]) -> None:
+        """Register additional links (append-only; existing indices keep)."""
+        fresh = [l for l in capacities if l not in self._link_index]
+        if not fresh:
+            return
+        for link in fresh:
+            self._link_index[link] = len(self._link_ids)
+            self._link_ids.append(link)
+        grown = np.empty(len(self._link_ids), dtype=float)
+        grown[: len(self._caps)] = self._caps
+        grown[len(self._caps):] = [capacities[l] for l in fresh]
+        self._caps = grown
+        loads = np.zeros(len(self._link_ids), dtype=float)
+        loads[: len(self._loads)] = self._loads
+        self._loads = loads
+        self._note_delta()
+
     def add_flow(self, flow: Flow) -> None:
-        link_idx = []
-        for link in flow.links:
-            idx = self._link_index.get(link)
-            if idx is None:
-                raise KeyError(f"flow {flow.flow_id} uses unknown link {link!r}")
-            link_idx.append(idx)
+        link_idx = self._path_idx.get(flow.links)
+        if link_idx is None:
+            link_idx = []
+            for link in flow.links:
+                idx = self._link_index.get(link)
+                if idx is None:
+                    raise KeyError(
+                        f"flow {flow.flow_id} uses unknown link {link!r}"
+                    )
+                link_idx.append(idx)
+            self._path_idx[flow.links] = link_idx
         if self._free_slots:
             slot = self._free_slots.pop()
             self._flows[slot] = flow
@@ -241,6 +309,7 @@ class IncrementalFairnessSolver:
         self._active[slot] = flow.active
         self._in_use[slot] = True
         self._rates[slot] = 0.0
+        self._levels[slot] = 0.0
         self._bneck[slot] = -1
         k = len(link_idx)
         if self._nnz + k > len(self._flat_links):
@@ -258,7 +327,12 @@ class IncrementalFairnessSolver:
         self._flows[slot] = None
         self._in_use[slot] = False
         self._active[slot] = False
+        if self._rates[slot] != 0.0:
+            # Part of the next solve's changed set: rates are updated
+            # in place, so zeroed slots must be remembered explicitly.
+            self._deactivated.append(slot)
         self._rates[slot] = 0.0
+        self._levels[slot] = 0.0
         self._dead_nnz += self._spans[slot][1]
         # The slot is reusable only after compaction purges its incidence
         # entries; until then reuse would misattribute them.
@@ -268,6 +342,18 @@ class IncrementalFairnessSolver:
         slot = self._slot_of.get(flow.flow_id)
         if slot is not None:
             self._active[slot] = active
+            if not active and self._rates[slot] != 0.0:
+                self._deactivated.append(slot)
+                self._rates[slot] = 0.0
+                self._levels[slot] = 0.0
+            self._note_delta()
+
+    def set_weight(self, flow: Flow, weight: float) -> None:
+        """Change a registered flow's weight in place (macro aggregation
+        resizes a group's weight as members join/leave/gate)."""
+        slot = self._slot_of.get(flow.flow_id)
+        if slot is not None:
+            self._weights[slot] = weight
             self._note_delta()
 
     def set_capacity(self, link_id: str, capacity: float) -> None:
@@ -280,7 +366,7 @@ class IncrementalFairnessSolver:
 
     def _grow_slots(self, need: int) -> None:
         size = max(need, int(len(self._weights) * self._GROW) + 8)
-        for name in ("_weights", "_rates"):
+        for name in ("_weights", "_rates", "_levels"):
             old = getattr(self, name)
             new = np.zeros(size, dtype=float)
             new[: len(old)] = old
@@ -370,17 +456,38 @@ class IncrementalFairnessSolver:
         return self._loads
 
     def link_loads(self) -> Dict[str, float]:
-        """Allocated rate per link from the most recent :meth:`solve`."""
+        """Allocated rate per link from the most recent :meth:`solve`.
+
+        Cached on ``solve_epoch`` — the telemetry sampler reads this every
+        tick and most ticks land between solves.  Treat the returned dict
+        as read-only.
+        """
+        epoch, cached = self._loads_cache
+        if epoch == self.solve_epoch:
+            return cached
         loads = self._refresh_loads()
         loaded = np.flatnonzero(loads > 0.0)
-        return {self._link_ids[int(i)]: float(loads[int(i)]) for i in loaded}
+        result = {
+            self._link_ids[int(i)]: float(loads[int(i)]) for i in loaded
+        }
+        self._loads_cache = (self.solve_epoch, result)
+        return result
 
     def link_utilization(self, min_utilization: float = 0.0) -> Dict[str, float]:
-        """load/capacity per link from the most recent :meth:`solve`."""
+        """load/capacity per link from the most recent :meth:`solve`.
+
+        Cached on ``(solve_epoch, min_utilization)``; treat the returned
+        dict as read-only.
+        """
+        epoch, cached_min, cached = self._util_cache
+        if epoch == self.solve_epoch and cached_min == min_utilization:
+            return cached
         with np.errstate(invalid="ignore"):
             util = self._refresh_loads() / self._caps
         hot = np.flatnonzero(util >= max(min_utilization, 1e-300))
-        return {self._link_ids[int(i)]: float(util[int(i)]) for i in hot}
+        result = {self._link_ids[int(i)]: float(util[int(i)]) for i in hot}
+        self._util_cache = (self.solve_epoch, min_utilization, result)
+        return result
 
     def scaled_caps(self, penalty: float) -> np.ndarray:
         """Capacities with the burst-interference model applied: links
@@ -412,106 +519,262 @@ class IncrementalFairnessSolver:
 
         Returns:
             ``(changed_slots, rates)``: the slots whose allocation moved
-            since the previous solve, and the full per-slot rate vector.
+            since the previous solve, and the full per-slot rate vector
+            (the solver's live array — treat it as read-only).
         """
+        override = capacities is not None
+        if (
+            self._pending_delta == 0
+            and self._solved_once
+            and not override
+            and not self._last_override
+        ):
+            # Nothing changed structurally since the previous solve with
+            # default capacities: the cached allocation is still exact.
+            self.last_delta = 0
+            self.solves_skipped += 1
+            return _EMPTY_CHANGED, self._rates
         self.last_delta = self._pending_delta
         self.delta_flows_total += self._pending_delta
         self._pending_delta = 0
+        self._last_override = override
+        self._solved_once = True
+        self.solve_epoch += 1
         if self._dead_nnz > 64 and self._dead_nnz * 2 > self._nnz:
             self._compact()
-        n = len(self._flows)
         caps = self._caps if capacities is None else capacities
         flat_l = self._flat_links[: self._nnz]
         flat_s = self._flat_slots[: self._nnz]
-        new_rates = np.zeros(len(self._rates), dtype=float)
         alive = self._in_use & self._active
         entry_live = alive[flat_s]
         fl = flat_l[entry_live]
         fs = flat_s[entry_live]
-        if fl.size:
-            # Compact both dimensions to what is live *this* solve: a large
-            # fabric has thousands of links and registered slots, but a
-            # typical recomputation touches a few hundred of each, and the
-            # per-round numpy work below scales with these sizes.  The
-            # remapping is order-preserving, so every bincount accumulates
-            # the same values in the same order and the allocation stays
-            # bit-identical to a full-width solve.
-            live_mask = np.zeros(len(caps), dtype=bool)
-            live_mask[fl] = True
-            live_links = np.flatnonzero(live_mask)
-            nl = live_links.size
-            link_lut = np.empty(len(caps), dtype=np.int64)
-            link_lut[live_links] = np.arange(nl)
-            fl = link_lut[fl]
-            active_slots = np.flatnonzero(alive)
-            na = active_slots.size
-            slot_lut = np.empty(len(alive), dtype=np.int64)
-            slot_lut[active_slots] = np.arange(na)
-            fs = slot_lut[fs]
-            self._bneck[active_slots] = -1
-            w = self._weights[active_slots]
-            wE = w[fs]  # per-entry weight of the entry's flow
-            # Per-flow fill level: the water level ``best`` of the round
-            # that froze the flow; a flow's rate is ``weight * level``,
-            # the same IEEE product the reference loop computes.
-            levels = np.zeros(na, dtype=float)
-            residual = caps[live_links]  # fancy index -> fresh copy
-            share = np.empty(nl, dtype=float)
-            freeze = np.empty(na, dtype=bool)
-            # Progressive filling.  Frozen entries are dropped each round,
-            # so late rounds touch shrinking arrays; dropped zero-weight
-            # contributions never change the bincount partial sums.  The
-            # frozen bandwidth leaving each link is computed as
-            # ``(link_weight - next_link_weight) * best`` — the two
-            # bincounts bracket the drop, so a separate aggregation of the
-            # frozen entries is unnecessary (links without frozen entries
-            # keep bit-identical partial sums and subtract exactly 0).
-            link_weight = np.bincount(fl, weights=wE, minlength=nl)
-            while True:
-                share.fill(np.inf)
-                np.divide(
-                    residual, link_weight, out=share, where=link_weight > 0
-                )
-                best = float(share.min())
-                if not math.isfinite(best):
-                    break
-                if best < 0.0:
-                    best = 0.0
-                bottleneck = share <= best * (1 + 1e-9) + _EPS
-                # The minimising link is live (weight > 0), so at least one
-                # entry hits a bottleneck link and the loop always shrinks.
-                hit = bottleneck[fl]
-                freeze.fill(False)
-                freeze[fs[hit]] = True
-                levels[freeze] = best
-                # Attribute each frozen slot to the (a) bottleneck link
-                # that froze it, mapped back to global link/slot indices.
-                self._bneck[active_slots[fs[hit]]] = live_links[fl[hit]]
-                keep = ~freeze[fs]
-                fl = fl[keep]
-                fs = fs[keep]
-                wE = wE[keep]
-                if not fs.size:
-                    break
-                new_weight = np.bincount(fl, weights=wE, minlength=nl)
-                np.subtract(link_weight, new_weight, out=link_weight)
-                np.multiply(link_weight, best, out=link_weight)
-                np.subtract(residual, link_weight, out=residual)
-                np.maximum(residual, 0.0, out=residual)
-                link_weight = new_weight
-            new_rates[active_slots] = levels * w
         self._loads_stale = True
-        changed = np.flatnonzero(new_rates[:n] != self._rates[:n])
-        self._rates = new_rates
-        return changed, new_rates
+        # Slots force-zeroed since the last solve (removed/gated while
+        # rated) are changed even though they are no longer live; slots
+        # zeroed but reactivated before this solve are covered by the
+        # live compare below instead.
+        deact = self._deactivated
+        if deact:
+            self._deactivated = []
+            deact = [s for s in deact if not alive[s]]
+        if fl.size == 0:
+            if not deact:
+                return _EMPTY_CHANGED, self._rates
+            return np.sort(np.asarray(deact, dtype=np.int64)), self._rates
+        if fl.size <= SCALAR_SOLVE_MAX_ENTRIES:
+            self.scalar_solves += 1
+            changed_list = self._solve_scalar(caps, fl, fs)
+            changed_list.extend(deact)
+            if not changed_list:
+                return _EMPTY_CHANGED, self._rates
+            return np.sort(np.asarray(changed_list, dtype=np.int64)), self._rates
+        # Compact both dimensions to what is live *this* solve: a large
+        # fabric has thousands of links and registered slots, but a
+        # typical recomputation touches a few hundred of each, and the
+        # per-round numpy work below scales with these sizes.  The
+        # remapping is order-preserving, so every bincount accumulates
+        # the same values in the same order and the allocation stays
+        # bit-identical to a full-width solve.
+        live_mask = np.zeros(len(caps), dtype=bool)
+        live_mask[fl] = True
+        live_links = np.flatnonzero(live_mask)
+        nl = live_links.size
+        link_lut = np.empty(len(caps), dtype=np.int64)
+        link_lut[live_links] = np.arange(nl)
+        fl = link_lut[fl]
+        active_slots = np.flatnonzero(alive)
+        na = active_slots.size
+        slot_lut = np.empty(len(alive), dtype=np.int64)
+        slot_lut[active_slots] = np.arange(na)
+        fs = slot_lut[fs]
+        self._bneck[active_slots] = -1
+        w = self._weights[active_slots]
+        wE = w[fs]  # per-entry weight of the entry's flow
+        # Per-flow fill level: the water level ``best`` of the round
+        # that froze the flow; a flow's rate is ``weight * level``,
+        # the same IEEE product the reference loop computes.
+        levels = np.zeros(na, dtype=float)
+        residual = caps[live_links]  # fancy index -> fresh copy
+        share = np.empty(nl, dtype=float)
+        freeze = np.empty(na, dtype=bool)
+        # Progressive filling.  Frozen entries are dropped each round,
+        # so late rounds touch shrinking arrays; dropped zero-weight
+        # contributions never change the bincount partial sums.  The
+        # frozen bandwidth leaving each link is computed as
+        # ``(link_weight - next_link_weight) * best`` — the two
+        # bincounts bracket the drop, so a separate aggregation of the
+        # frozen entries is unnecessary (links without frozen entries
+        # keep bit-identical partial sums and subtract exactly 0).
+        link_weight = np.bincount(fl, weights=wE, minlength=nl)
+        while True:
+            share.fill(np.inf)
+            np.divide(
+                residual, link_weight, out=share, where=link_weight > 0
+            )
+            best = float(share.min())
+            if not math.isfinite(best):
+                break
+            if best < 0.0:
+                best = 0.0
+            bottleneck = share <= best * (1 + 1e-9) + _EPS
+            # The minimising link is live (weight > 0), so at least one
+            # entry hits a bottleneck link and the loop always shrinks.
+            hit = bottleneck[fl]
+            freeze.fill(False)
+            freeze[fs[hit]] = True
+            levels[freeze] = best
+            # Attribute each frozen slot to the (a) bottleneck link
+            # that froze it, mapped back to global link/slot indices.
+            self._bneck[active_slots[fs[hit]]] = live_links[fl[hit]]
+            keep = ~freeze[fs]
+            fl = fl[keep]
+            fs = fs[keep]
+            wE = wE[keep]
+            if not fs.size:
+                break
+            new_weight = np.bincount(fl, weights=wE, minlength=nl)
+            np.subtract(link_weight, new_weight, out=link_weight)
+            np.multiply(link_weight, best, out=link_weight)
+            np.subtract(residual, link_weight, out=residual)
+            np.maximum(residual, 0.0, out=residual)
+            link_weight = new_weight
+        new = levels * w
+        old = self._rates[active_slots]
+        changed_active = active_slots[new != old]
+        self._rates[active_slots] = new
+        self._levels[active_slots] = levels
+        if deact:
+            changed = np.sort(
+                np.concatenate(
+                    [changed_active, np.asarray(deact, dtype=np.int64)]
+                )
+            )
+        else:
+            changed = changed_active
+        return changed, self._rates
+
+    def _solve_scalar(
+        self, caps: np.ndarray, fl: np.ndarray, fs: np.ndarray
+    ) -> List[int]:
+        """Scalar progressive filling for small live sets.
+
+        Performs exactly the arithmetic of the vectorized loop — per-link
+        weight sums accumulate in incidence-entry order (the bincount
+        order), the round water level is the same minimum, the freeze
+        threshold/attribution/residual updates are the same IEEE
+        expressions — so the allocation is bit-identical.  Below
+        :data:`SCALAR_SOLVE_MAX_ENTRIES` entries this is several times
+        faster than paying ~15 numpy-call overheads per round.
+
+        Updates ``_rates``/``_levels``/``_bneck`` in place and returns the
+        (unsorted) list of slots whose rate moved.
+        """
+        # Order-preserving local compaction of links and slots, fused into
+        # one pass that also builds the entry triples and the per-link
+        # weight sums (accumulated in entry order, like the bincount).
+        link_local: Dict[int, int] = {}
+        links: List[int] = []  # local -> global link index
+        slot_local: Dict[int, int] = {}
+        slots: List[int] = []  # local -> global slot
+        weights = self._weights
+        wS: List[float] = []
+        entries: List[Tuple[int, int, float]] = []
+        link_weight: List[float] = []
+        for g_l, g_s in zip(fl.tolist(), fs.tolist()):
+            li = link_local.get(g_l)
+            if li is None:
+                li = link_local[g_l] = len(links)
+                links.append(g_l)
+                link_weight.append(0.0)
+            si = slot_local.get(g_s)
+            if si is None:
+                si = slot_local[g_s] = len(slots)
+                slots.append(g_s)
+                wS.append(float(weights[g_s]))
+            wgt = wS[si]
+            entries.append((li, si, wgt))
+            link_weight[li] += wgt
+        nl = len(links)
+        ns = len(slots)
+        residual = [float(caps[g]) for g in links]
+        levels = [0.0] * ns
+        frozen = [False] * ns
+        bneck = [-1] * ns
+        while entries:
+            best = math.inf
+            shares = [math.inf] * nl
+            for li in range(nl):
+                lw = link_weight[li]
+                if lw > 0.0:
+                    sh = residual[li] / lw
+                    shares[li] = sh
+                    if sh < best:
+                        best = sh
+            if not math.isfinite(best):
+                break
+            if best < 0.0:
+                best = 0.0
+            thresh = best * (1 + 1e-9) + _EPS
+            for li, si, _ in entries:
+                if shares[li] <= thresh:
+                    frozen[si] = True
+                    levels[si] = best
+                    bneck[si] = links[li]
+            survivors = [e for e in entries if not frozen[e[1]]]
+            if not survivors:
+                break
+            new_weight = [0.0] * nl
+            for li, _, wgt in survivors:
+                new_weight[li] += wgt
+            for li in range(nl):
+                r = residual[li] - (link_weight[li] - new_weight[li]) * best
+                residual[li] = r if r > 0.0 else 0.0
+            link_weight = new_weight
+            entries = survivors
+        rates = self._rates
+        lv = self._levels
+        bn = self._bneck
+        changed: List[int] = []
+        for si in range(ns):
+            g = slots[si]
+            r = wS[si] * levels[si]
+            if rates[g] != r:
+                rates[g] = r
+                changed.append(g)
+            lv[g] = levels[si]
+            bn[g] = bneck[si]
+        return changed
+
+    def level_of_slot(self, slot: int) -> float:
+        """Water level that froze this slot in the most recent solve.
+
+        A slot's rate is exactly ``weight * level``; macro aggregation
+        reconstructs member rates as ``member_weight * level`` (the same
+        IEEE product the per-flow reference computes)."""
+        return float(self._levels[slot])
+
+    def level_of(self, flow_id: str) -> float:
+        """Water level of a registered flow (0.0 for unknown flows)."""
+        slot = self._slot_of.get(flow_id)
+        return 0.0 if slot is None else float(self._levels[slot])
 
     def rates_by_id(self) -> Dict[str, float]:
-        """Flow id -> rate from the most recent solve (for tests/debug)."""
-        return {
+        """Flow id -> rate from the most recent solve (for tests/debug).
+
+        Cached on ``solve_epoch``; treat the returned dict as read-only.
+        """
+        epoch, cached = self._rates_by_id_cache
+        if epoch == self.solve_epoch and self._pending_delta == 0:
+            return cached
+        result = {
             flow.flow_id: float(self._rates[slot])
             for slot, flow in enumerate(self._flows)
             if flow is not None
         }
+        if self._pending_delta == 0:
+            self._rates_by_id_cache = (self.solve_epoch, result)
+        return result
 
 
 def bottleneck_rate(

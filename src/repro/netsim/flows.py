@@ -5,13 +5,24 @@ Its *rate* is recomputed by the max-min fairness allocator whenever the set
 of active flows changes.  Flows carry bookkeeping tags (job id, communicator
 id, channel) so policies such as FFA can round-robin between jobs and the
 traffic-scheduling (TS) policy can gate the flows of a specific tenant.
+
+The engine's incremental mode keeps the per-flow *data plane* —
+remaining bytes, allocated rate, and the lazy-progress anchor — in flat
+numpy arrays (:class:`FlowArena`) so a rate recomputation can settle and
+re-anchor a whole batch of flows with a handful of numpy ops instead of
+N Python attribute walks.  The :class:`Flow` object remains the public
+handle: ``flow.remaining`` / ``flow.rate`` read through to the arena
+while the flow is in the network and fall back to plain attributes once
+it leaves (or when the legacy engine, which never attaches an arena, is
+driving).  Readers never observe stale values either way.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 _flow_counter = itertools.count()
 
@@ -20,7 +31,49 @@ def _next_flow_id() -> str:
     return f"flow{next(_flow_counter)}"
 
 
-@dataclass(eq=False)
+# Distinct-links tuple per path tuple.  Channelized workloads inject many
+# flows over the same path object (NCCL channel fan-out), so deduplicating
+# the path once per distinct route beats doing it once per flow.  Bounded
+# by the number of distinct routes ever seen, like the topology path cache.
+_links_of_path: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+
+
+class FlowArena:
+    """Flat-array storage for the per-flow data plane.
+
+    One arena per engine; each attached flow owns one slot in the
+    ``remaining`` / ``rate`` / ``synced`` arrays.  Slots are recycled
+    through a free list when flows detach, so array length tracks the
+    peak concurrent population, not the total flow count.
+    """
+
+    __slots__ = ("remaining", "rate", "synced", "_free", "_top")
+
+    def __init__(self, initial: int = 64) -> None:
+        self.remaining = np.zeros(initial, dtype=float)
+        self.rate = np.zeros(initial, dtype=float)
+        self.synced = np.zeros(initial, dtype=float)
+        self._free: list = []
+        self._top = 0
+
+    def alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = self._top
+        self._top += 1
+        if slot >= len(self.remaining):
+            size = int(len(self.remaining) * 1.5) + 8
+            for name in ("remaining", "rate", "synced"):
+                old = getattr(self, name)
+                grown = np.zeros(size, dtype=float)
+                grown[: len(old)] = old
+                setattr(self, name, grown)
+        return slot
+
+    def release(self, slot: int) -> None:
+        self._free.append(slot)
+
+
 class Flow:
     """One fluid flow.
 
@@ -49,46 +102,153 @@ class Flow:
             rebuild a ``set(flow.path)`` on the hot path.
     """
 
-    size: float
-    path: Tuple[str, ...]
-    flow_id: str = field(default_factory=_next_flow_id)
-    job_id: Optional[str] = None
-    weight: float = 1.0
-    gated: bool = False
-    remaining: float = field(init=False)
-    rate: float = field(init=False, default=0.0)
-    start_time: float = field(init=False, default=0.0)
-    end_time: Optional[float] = field(init=False, default=None)
-    failed: bool = field(init=False, default=False)
-    error: Optional[BaseException] = field(init=False, default=None, repr=False)
-    on_complete: Optional[Callable[["Flow", float], None]] = None
-    on_fail: Optional[Callable[["Flow", float, BaseException], None]] = None
-    tags: Dict[str, object] = field(default_factory=dict)
-    links: Tuple[str, ...] = field(init=False, repr=False)
-    #: Engine-managed anchor of the lazy progress clock: ``remaining`` is
-    #: exact as of this simulation time; between rate changes the engine
-    #: derives progress as ``remaining - rate * (now - _synced_at)``.
-    _synced_at: float = field(init=False, default=0.0, repr=False)
-    #: Engine-managed heap-entry generation; bumping it invalidates any
-    #: completion-time heap entry pushed for this flow.
-    _heap_epoch: int = field(init=False, default=0, repr=False)
-    #: Optional per-flow rate recorder installed by the causal tracer;
-    #: the engine calls ``_recorder.on_rate_change(flow, now, rate,
-    #: bottleneck_link)`` whenever this flow's allocation moves, keeping
-    #: the hook O(changed flows) per recomputation.
-    _recorder: Optional[object] = field(init=False, default=None, repr=False)
+    __slots__ = (
+        "flow_id",
+        "size",
+        "path",
+        "job_id",
+        "weight",
+        "gated",
+        "start_time",
+        "end_time",
+        "failed",
+        "error",
+        "on_complete",
+        "on_fail",
+        "tags",
+        "links",
+        "_remaining",
+        "_rate",
+        "_synced",
+        "_heap_epoch",
+        "_recorder",
+        "_arena",
+        "_slot",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
+    def __init__(
+        self,
+        size: float,
+        path: Sequence[str],
+        flow_id: Optional[str] = None,
+        job_id: Optional[str] = None,
+        weight: float = 1.0,
+        gated: bool = False,
+        on_complete: Optional[Callable[["Flow", float], None]] = None,
+        on_fail: Optional[Callable[["Flow", float, BaseException], None]] = None,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if size <= 0:
             raise ValueError("flow size must be positive")
-        if not self.path:
+        if not path:
             raise ValueError("flow path must contain at least one link")
-        if self.weight <= 0:
+        if weight <= 0:
             raise ValueError("flow weight must be positive")
-        self.path = tuple(self.path)
-        self.links = tuple(dict.fromkeys(self.path))
-        self.remaining = float(self.size)
+        self.flow_id = flow_id if flow_id is not None else _next_flow_id()
+        self.size = size
+        self.path = tuple(path)
+        self.job_id = job_id
+        self.weight = weight
+        self.gated = gated
+        self.start_time = 0.0
+        self.end_time: Optional[float] = None
+        self.failed = False
+        self.error: Optional[BaseException] = None
+        self.on_complete = on_complete
+        self.on_fail = on_fail
+        self.tags: Dict[str, object] = {} if tags is None else tags
+        links = _links_of_path.get(self.path)
+        if links is None:
+            links = tuple(dict.fromkeys(self.path))
+            _links_of_path[self.path] = links
+        self.links: Tuple[str, ...] = links
+        self._remaining = float(size)
+        self._rate = 0.0
+        #: Engine-managed anchor of the lazy progress clock: ``remaining``
+        #: is exact as of this simulation time; between rate changes the
+        #: engine derives progress as ``remaining - rate*(now - _synced_at)``.
+        self._synced = 0.0
+        #: Engine-managed heap-entry generation; bumping it invalidates
+        #: any completion-time heap entry pushed for this flow.
+        self._heap_epoch = 0
+        #: Optional per-flow rate recorder installed by the causal tracer;
+        #: the engine calls ``_recorder.on_rate_change(flow, now, rate,
+        #: bottleneck_link)`` whenever this flow's allocation moves,
+        #: keeping the hook O(changed flows) per recomputation.
+        self._recorder: Optional[object] = None
+        self._arena: Optional[FlowArena] = None
+        self._slot = -1
 
+    # -- flat-array data plane -----------------------------------------
+    def _attach(self, arena: FlowArena) -> int:
+        """Move the data plane into ``arena``; returns the slot."""
+        slot = arena.alloc()
+        arena.remaining[slot] = self._remaining
+        arena.rate[slot] = self._rate
+        arena.synced[slot] = self._synced
+        self._arena = arena
+        self._slot = slot
+        return slot
+
+    def _detach(self) -> None:
+        """Copy the data plane back to plain attributes and free the slot."""
+        arena = self._arena
+        if arena is None:
+            return
+        slot = self._slot
+        self._remaining = float(arena.remaining[slot])
+        self._rate = float(arena.rate[slot])
+        self._synced = float(arena.synced[slot])
+        self._arena = None
+        self._slot = -1
+        arena.release(slot)
+
+    @property
+    def remaining(self) -> float:
+        arena = self._arena
+        if arena is None:
+            return self._remaining
+        return float(arena.remaining[self._slot])
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        arena = self._arena
+        if arena is None:
+            self._remaining = value
+        else:
+            arena.remaining[self._slot] = value
+
+    @property
+    def rate(self) -> float:
+        arena = self._arena
+        if arena is None:
+            return self._rate
+        return float(arena.rate[self._slot])
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        arena = self._arena
+        if arena is None:
+            self._rate = value
+        else:
+            arena.rate[self._slot] = value
+
+    @property
+    def _synced_at(self) -> float:
+        arena = self._arena
+        if arena is None:
+            return self._synced
+        return float(arena.synced[self._slot])
+
+    @_synced_at.setter
+    def _synced_at(self, value: float) -> None:
+        arena = self._arena
+        if arena is None:
+            self._synced = value
+        else:
+            arena.synced[self._slot] = value
+
+    # -- lifecycle queries ---------------------------------------------
     @property
     def completed(self) -> bool:
         return self.end_time is not None
@@ -96,7 +256,7 @@ class Flow:
     @property
     def active(self) -> bool:
         """True when the flow competes for bandwidth right now."""
-        return not self.completed and not self.gated
+        return self.end_time is None and not self.gated
 
     def progress(self) -> float:
         """Fraction of bytes delivered so far, in [0, 1]."""

@@ -132,3 +132,91 @@ class RandomSelector(PathSelector):
     def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
         paths = topology.shortest_paths(key[0], key[1])
         return list(self._rng.choice(paths))
+
+
+# ----------------------------------------------------------------------
+# datacenter scale: O(1) path synthesis on multi-pod Clos fabrics
+# ----------------------------------------------------------------------
+def clos_path(
+    spec,
+    src_host: int,
+    src_nic: int,
+    dst_host: int,
+    dst_nic: int,
+    spine: int,
+    core: int,
+) -> Tuple[str, ...]:
+    """Synthesize a concrete link-id path between two NIC endpoints.
+
+    Uses the multi-pod fabric's naming scheme (``src->dst`` link ids)
+    directly, so no path search runs — on an 8192-GPU fabric a BFS per
+    connection is exactly the kind of per-flow cost the scale work
+    removes.  ``spine``/``core`` pick the ECMP choice at each tier;
+    inter-pod paths cross ``core{core}`` via the chosen spine of each
+    pod.  ``spec`` is a :class:`~repro.netsim.fabric.MultiPodSpec`.
+    """
+    from .fabric import nic_node
+
+    src = nic_node(src_host, src_nic)
+    dst = nic_node(dst_host, dst_nic)
+    src_pod = spec.pod_of_host(src_host)
+    dst_pod = spec.pod_of_host(dst_host)
+    src_leaf = (
+        f"pod{src_pod}.leaf{spec.leaf_of_host(src_host) % spec.leaves_per_pod}"
+    )
+    dst_leaf = (
+        f"pod{dst_pod}.leaf{spec.leaf_of_host(dst_host) % spec.leaves_per_pod}"
+    )
+    if src_leaf == dst_leaf:
+        return (f"{src}->{src_leaf}", f"{dst_leaf}->{dst}")
+    if src_pod == dst_pod:
+        spine_node = f"pod{src_pod}.spine{spine}"
+        return (
+            f"{src}->{src_leaf}",
+            f"{src_leaf}->{spine_node}",
+            f"{spine_node}->{dst_leaf}",
+            f"{dst_leaf}->{dst}",
+        )
+    src_spine = f"pod{src_pod}.spine{spine}"
+    dst_spine = f"pod{dst_pod}.spine{spine}"
+    core_node = f"core{core}"
+    return (
+        f"{src}->{src_leaf}",
+        f"{src_leaf}->{src_spine}",
+        f"{src_spine}->{core_node}",
+        f"{core_node}->{dst_spine}",
+        f"{dst_spine}->{dst_leaf}",
+        f"{dst_leaf}->{dst}",
+    )
+
+
+class ClosEcmpSelector(PathSelector):
+    """ECMP on a multi-pod Clos without enumerating shortest paths.
+
+    :class:`EcmpSelector` hashes over ``topology.shortest_paths`` — a
+    BFS per (src, dst) pair that dominates connection setup on fleet
+    fabrics.  This selector instead hashes the connection key onto the
+    (spine, core) ECMP choice and synthesizes the path by name
+    arithmetic (:func:`clos_path`), making selection O(path length)
+    regardless of fabric size.  Endpoints must be NIC node ids of the
+    fabric's naming scheme (``h{host}.nic{n}``).
+    """
+
+    def __init__(self, spec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    @staticmethod
+    def _parse_nic(endpoint: str) -> Tuple[int, int]:
+        host_part, nic_part = endpoint.split(".nic")
+        return int(host_part[1:]), int(nic_part)
+
+    def select(self, topology: Topology, key: ConnectionKey) -> List[str]:
+        spec = self.spec
+        src_host, src_nic = self._parse_nic(key[0])
+        dst_host, dst_nic = self._parse_nic(key[1])
+        spine = ecmp_hash(key, spec.spines_per_pod, self.seed)
+        core = ecmp_hash(key, spec.core_switches, self.seed + 1)
+        return list(
+            clos_path(spec, src_host, src_nic, dst_host, dst_nic, spine, core)
+        )

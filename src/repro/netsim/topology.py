@@ -79,6 +79,10 @@ class Topology:
         # enumeration while the Link objects stay registered, so restoring
         # a link is cheap and flow validation still recognizes its id.
         self._down: Set[str] = set()
+        # Paths already proven contiguous (every enumerated shortest path
+        # plus every explicitly validated one): flow injection validates
+        # a known path with one set lookup instead of walking its links.
+        self._known_paths: Set[Tuple[str, ...]] = set()
 
     # ------------------------------------------------------------------
     # construction
@@ -95,6 +99,7 @@ class Topology:
         # makes us diverge from them.
         self._path_cache = {}
         self._sssp_cache = {}
+        self._known_paths = set()
         self._compact = None
         return node
 
@@ -126,6 +131,7 @@ class Topology:
         self._out[src].append(link)
         self._path_cache = {}
         self._sssp_cache = {}
+        self._known_paths = set()
         self._compact = None
         return link
 
@@ -196,6 +202,7 @@ class Topology:
             self._down.add(link_id)
         self._path_cache = {}
         self._sssp_cache = {}
+        self._known_paths = set()
         self._compact = None
         return True
 
@@ -242,6 +249,7 @@ class Topology:
         if not paths:
             raise NoPathError(f"no path from {src!r} to {dst!r}")
         self._path_cache[key] = paths
+        self._known_paths.update(paths)
         return paths
 
     def _compact_graph(self) -> Tuple[Dict[str, int], List[List[Tuple[int, str]]]]:
@@ -353,6 +361,8 @@ class Topology:
         self._path_cache = other._path_cache
         other._sssp_cache.update(self._sssp_cache)
         self._sssp_cache = other._sssp_cache
+        other._known_paths.update(self._known_paths)
+        self._known_paths = other._known_paths
         if other._compact is not None:
             self._compact = other._compact
 
@@ -369,11 +379,32 @@ class Topology:
         return nodes
 
     def validate_path(self, path: Sequence[str]) -> None:
-        """Raise if ``path`` is not a contiguous sequence of known links."""
-        self.path_nodes(path)
+        """Raise if ``path`` is not a contiguous sequence of known links.
+
+        Validated paths are interned: revalidating a path that already
+        passed (or came out of :meth:`shortest_paths`) is one set lookup,
+        which is what keeps flow injection O(1) on the hot path.
+        """
+        key = tuple(path)
+        if key in self._known_paths:
+            return
+        self.path_nodes(key)
+        self._known_paths.add(key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Topology({self.name!r}, nodes={len(self._nodes)}, "
             f"links={len(self._links)})"
         )
+
+
+def multi_pod_clos(spec=None):
+    """Build a three-tier multi-pod Clos fabric (datacenter scale).
+
+    Thin alias for :func:`repro.netsim.fabric.multi_pod_clos` so the
+    builder is reachable from the topology module too; see
+    :class:`repro.netsim.fabric.MultiPodSpec` for the knobs.
+    """
+    from .fabric import multi_pod_clos as _build
+
+    return _build(spec)

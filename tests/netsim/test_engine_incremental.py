@@ -98,6 +98,74 @@ def test_fig08_grid_identical_across_engines(monkeypatch):
         assert new[3] == pytest.approx(old[3], rel=1e-9)
 
 
+#: The datacenter fast modes (macro aggregation, sharded solver, both);
+#: each must reproduce the incremental reference *bit-identically* — the
+#: floats below are compared with ``==``, not approx.
+FAST_MODES = [
+    pytest.param(True, False, id="macro"),
+    pytest.param(False, True, id="sharded"),
+    pytest.param(True, True, id="macro+sharded"),
+]
+
+
+def _run_in_fast_mode(monkeypatch, macro, sharded, fn):
+    _reset_global_counters(monkeypatch)
+    monkeypatch.setattr(engine_mod, "DEFAULT_INCREMENTAL", True)
+    monkeypatch.setattr(engine_mod, "DEFAULT_MACRO", macro)
+    monkeypatch.setattr(engine_mod, "DEFAULT_SHARDED", sharded)
+    return fn()
+
+
+def _fig08_speedup_grid():
+    from repro.experiments.fig08_multi_app import run_fig08
+
+    results = run_fig08(
+        setups=("setup1",),
+        trials=1,
+        op_bytes=32 * 1024 * 1024,
+        duration=0.8,
+        warmup=0.2,
+    )
+    return [(r.setup, r.system, r.app_id, r.stat.mean) for r in results]
+
+
+def _fig11_speedup_distributions():
+    from repro.experiments.fig11_simulation import run_fig11
+
+    outcome = run_fig11(
+        placement="random", num_jobs=4, iterations=6, channels=2, seed=0
+    )
+    return [(s, tuple(outcome.speedups(s))) for s in ("or", "or+ffa")]
+
+
+_fast_mode_reference_cache = {}
+
+
+def _reference_run(monkeypatch, fn):
+    """Reference (plain incremental) result, computed once per scenario."""
+    if fn not in _fast_mode_reference_cache:
+        _fast_mode_reference_cache[fn] = _run_in_fast_mode(
+            monkeypatch, False, False, fn
+        )
+    return _fast_mode_reference_cache[fn]
+
+
+@pytest.mark.parametrize("macro,sharded", FAST_MODES)
+def test_fig08_grid_bit_identical_in_fast_modes(monkeypatch, macro, sharded):
+    reference = _reference_run(monkeypatch, _fig08_speedup_grid)
+    fast = _run_in_fast_mode(monkeypatch, macro, sharded, _fig08_speedup_grid)
+    assert fast == reference
+
+
+@pytest.mark.parametrize("macro,sharded", FAST_MODES)
+def test_fig11_speedups_bit_identical_in_fast_modes(monkeypatch, macro, sharded):
+    reference = _reference_run(monkeypatch, _fig11_speedup_distributions)
+    fast = _run_in_fast_mode(
+        monkeypatch, macro, sharded, _fig11_speedup_distributions
+    )
+    assert fast == reference
+
+
 @pytest.mark.parametrize("incremental", [False, True])
 def test_staggered_sharing_same_in_both_modes(incremental):
     sim = FlowSimulator(line_topo(), incremental=incremental)

@@ -51,11 +51,18 @@ def topology_fingerprint(cluster: Cluster, gpus: Sequence[GpuDevice]) -> str:
         per_host[gpu.host_id] = per_host.get(gpu.host_id, 0) + 1
     shape = "x".join(str(per_host[h]) for h in sorted(per_host))
     racks = {cluster.rack_of(gpu) for gpu in gpus}
-    return (
+    key = (
         f"{spec.name}/spines{spec.num_spines}@{spec.fabric_gbps:g}g"
         f"/nic{spec.nic_gbps:g}g/hosts{len(per_host)}[{shape}]"
         f"/racks{len(racks)}"
     )
+    region_of_host = getattr(spec, "region_of_host", None)
+    if callable(region_of_host):
+        # WAN-crossing placements tune completely differently from
+        # single-region ones; keep their table entries apart.
+        regions = {region_of_host(h) for h in per_host}
+        key += f"/regions{len(regions)}"
+    return key
 
 
 def pair_traffic(

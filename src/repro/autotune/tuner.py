@@ -92,6 +92,9 @@ class _CommState:
     retune_inflight: bool = False
     since_retune: int = 0
     retunes_applied: int = 0
+    #: Membership epoch awaiting its first applied retune (attribution).
+    pending_epoch: Optional[int] = None
+    epoch_retunes_applied: int = 0
 
 
 class AutoTuner:
@@ -151,6 +154,11 @@ class AutoTuner:
             "Cumulative estimated regret: observed duration minus the "
             "bucket's best known mean, by comm.",
         )
+        self._epoch_retunes = self.metrics.counter(
+            "mccs_autotune_epoch_retunes_total",
+            "Retunes applied and attributed to a membership epoch change "
+            "(the first retune after an elastic grow/shrink), by comm.",
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -178,6 +186,32 @@ class AutoTuner:
             state = self._states.get(comm_id)
             return state.retunes_applied if state else 0
         return sum(s.retunes_applied for s in self._states.values())
+
+    def epoch_retunes(self, comm_id: Optional[int] = None) -> int:
+        """Retunes applied and attributed to a membership epoch change."""
+        if comm_id is not None:
+            state = self._states.get(comm_id)
+            return state.epoch_retunes_applied if state else 0
+        return sum(s.epoch_retunes_applied for s in self._states.values())
+
+    def membership_changed(self, comm: "ServiceCommunicator") -> None:
+        """Elastic-coordinator notification: ``comm``'s rank set changed.
+
+        The old buckets keyed on the previous world size and the old
+        placement fingerprint are useless (WAN-crossing placements tune
+        completely differently), so drop them, recompute the fingerprint,
+        and attribute the next applied retune to the new epoch.
+        """
+        state = self._states.get(comm.comm_id)
+        if state is None:
+            return
+        state.fingerprint = topology_fingerprint(
+            self.deployment.cluster, comm.gpus
+        )
+        state.buckets.clear()
+        state.retune_inflight = False
+        state.since_retune = self.config.cooldown
+        state.pending_epoch = comm.membership_epoch
 
     # ------------------------------------------------------------------
     # measurement path
@@ -375,6 +409,13 @@ class AutoTuner:
             self._retunes_applied.inc(
                 comm=f"comm{comm.comm_id}", algorithm=spec.algorithm
             )
+            if state.pending_epoch is not None:
+                state.epoch_retunes_applied += 1
+                self._epoch_retunes.inc(
+                    comm=f"comm{comm.comm_id}",
+                    epoch=str(state.pending_epoch),
+                )
+                state.pending_epoch = None
 
         def failed(session) -> None:
             state.retune_inflight = False

@@ -17,8 +17,10 @@ from ..netsim.errors import HostCrashedError, NicFailedError
 from ..netsim.fabric import (
     Fabric,
     FabricSpec,
+    RegionSpec,
     RingFabricSpec,
     large_cluster_fabric,
+    multi_region,
     switch_ring,
     spine_leaf,
     testbed_fabric,
@@ -53,10 +55,17 @@ class Cluster:
         gpus_per_host: int,
         gpu_memory: int = 24 * 1024**3,
         interference_penalty: float = 0.0,
+        incremental: Optional[bool] = None,
+        macro: Optional[bool] = None,
+        sharded: Optional[bool] = None,
     ) -> None:
         self.fabric = fabric
         self.sim = FlowSimulator(
-            fabric.topology, interference_penalty=interference_penalty
+            fabric.topology,
+            interference_penalty=interference_penalty,
+            incremental=incremental,
+            macro=macro,
+            sharded=sharded,
         )
         self.gpus_per_host = gpus_per_host
         self.hosts: List[Host] = []
@@ -164,6 +173,21 @@ def testbed_cluster(interference_penalty: float = 0.0) -> Cluster:
 def large_cluster() -> Cluster:
     """The §6.5 simulation cluster: 768 GPUs over 96 hosts in 24 racks."""
     return Cluster(large_cluster_fabric(), gpus_per_host=8)
+
+
+def multi_region_cluster(
+    spec: Optional[RegionSpec] = None,
+    *,
+    gpus_per_host: int = 1,
+    **engine_kwargs,
+) -> Cluster:
+    """A geo-distributed installation: per-region Clos fabrics joined by
+    high-RTT, low-bandwidth WAN links (the elastic-WAN experiments)."""
+    return Cluster(
+        multi_region(spec if spec is not None else RegionSpec()),
+        gpus_per_host=gpus_per_host,
+        **engine_kwargs,
+    )
 
 
 def ring_cluster() -> Cluster:

@@ -9,6 +9,7 @@ and the policies under :mod:`repro.core.policies`.
 
 from .communicator import CollectiveInstance, ServiceCommunicator, VersionedDataPath
 from .deployment import MccsDeployment
+from .elastic import ElasticCoordinator, ElasticPolicy, MembershipChange
 from .memory import ManagedAllocation, MemoryManager
 from .messages import (
     AllocateRequest,
@@ -58,6 +59,8 @@ __all__ = [
     "DEFAULT_CONTROL_RING_LATENCY",
     "DEFAULT_TRACE_CAPACITY",
     "DestroyCommunicatorRequest",
+    "ElasticCoordinator",
+    "ElasticPolicy",
     "FreeRequest",
     "FrontendEngine",
     "HeartbeatMonitor",
@@ -67,6 +70,7 @@ __all__ = [
     "MccsCommunicator",
     "MccsDeployment",
     "MccsService",
+    "MembershipChange",
     "MemoryManager",
     "ProxyEngine",
     "ReconfigManager",

@@ -624,6 +624,9 @@ class ServiceCommunicator:
         #: see repro.core.sync for the snapshot-semantics discussion).
         self.comm_event = Event(name=f"comm{self.comm_id}.done")
         self.next_seq = 0
+        #: Bumped once per committed membership change (grow or shrink);
+        #: the journal's ``membership_change`` records carry this value.
+        self.membership_epoch = 0
         self.instances: List[CollectiveInstance] = []
         self.active_instances: Set[int] = set()
         self.inconsistent_collectives = 0
@@ -673,6 +676,29 @@ class ServiceCommunicator:
         self.datapath.retire_stale(strategy.version)
         if fresh and self.on_commit is not None:
             self.on_commit(self, strategy)
+
+    def apply_membership(
+        self, gpus: Sequence[GpuDevice], strategy: CollectiveStrategy
+    ) -> None:
+        """Install a new rank set at a membership cutover (grow/shrink).
+
+        Callers (:class:`~repro.core.elastic.ElasticCoordinator`) must
+        have drained the communicator first: rank renumbering invalidates
+        every in-flight instance's rank→GPU mapping, so cutting over with
+        collectives active would corrupt their flows.
+        """
+        validate_world(len(gpus))
+        if strategy.world != len(gpus):
+            raise ValueError("strategy world does not match gpu count")
+        if self.active_instances:
+            raise ReconfigurationError(
+                f"communicator {self.comm_id} still has "
+                f"{len(self.active_instances)} collective(s) in flight"
+            )
+        self.gpus = list(gpus)
+        self.world = len(gpus)
+        self.membership_epoch += 1
+        self.commit_strategy(strategy)
 
     def launch_frontier(self) -> int:
         """Sequence number of the last collective whose kernel started.

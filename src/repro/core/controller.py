@@ -90,9 +90,20 @@ class CentralManager:
         )
 
     def admit(
-        self, app_id: str, gpus: Sequence[GpuDevice], *, channels: Optional[int] = None
+        self,
+        app_id: str,
+        gpus: Sequence[GpuDevice],
+        *,
+        channels: Optional[int] = None,
+        datapath_tag: Optional[str] = None,
     ) -> ServiceCommunicator:
-        """Create a communicator already carrying the optimized ring."""
+        """Create a communicator already carrying the optimized ring.
+
+        ``datapath_tag`` pins the communicator's ECMP namespace so its
+        path draws are independent of process history (how many
+        communicators existed before) — experiments that assert on
+        routing-sensitive outcomes should pass one.
+        """
         from ..baselines.nccl import default_channels
 
         if channels is None:
@@ -100,6 +111,7 @@ class CentralManager:
         return self.deployment.create_communicator(
             app_id, gpus, channels=channels,
             strategy=self.initial_strategy(gpus, channels),
+            datapath_tag=datapath_tag,
         )
 
     def manage_admissions(self) -> None:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken for type hints
     from ..autotune import AutotuneConfig, AutoTuner, StrategyPlanner, TuningTable
+    from .elastic import ElasticCoordinator, ElasticPolicy
     from .recovery import HeartbeatMonitor, RecoveryManager, RecoveryPolicy
     from .supervisor import ServiceSupervisor
 
@@ -126,6 +127,9 @@ class MccsDeployment:
         self.admission: Optional[AdmissionController] = None
         #: Crash supervisor, armed via :meth:`enable_service_supervision`.
         self.supervisor: Optional["ServiceSupervisor"] = None
+        #: Elastic membership coordinator, armed via
+        #: :meth:`enable_elasticity`.
+        self.elastic: Optional["ElasticCoordinator"] = None
         self._telemetry.set_resilience_provider(self.resilience_stats)
 
     # ------------------------------------------------------------------
@@ -207,6 +211,19 @@ class MccsDeployment:
         else:
             self.supervisor.restart_delay = restart_delay
         return self.supervisor
+
+    def enable_elasticity(
+        self, policy: Optional["ElasticPolicy"] = None
+    ) -> "ElasticCoordinator":
+        """Arm live membership changes (elastic grow/shrink) for every
+        communicator; see :class:`~repro.core.elastic.ElasticCoordinator`."""
+        from .elastic import ElasticCoordinator
+
+        if self.elastic is None:
+            self.elastic = ElasticCoordinator(self, policy)
+        elif policy is not None:
+            self.elastic.policy = policy
+        return self.elastic
 
     def crash_service(self, host_id: int) -> None:
         """Kill one host's service process (the host itself survives)."""

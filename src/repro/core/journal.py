@@ -19,6 +19,7 @@ Record schema (``op`` -> payload keys):
 ``create_communicator`` app, comm_id, gpus, strategy
 ``install_strategy``    comm_id, strategy  (one per committed version)
 ``collective_issued``   app, comm_id, seq, kind, bytes [, trace]
+``membership_change``   app, comm_id, epoch, kind, gpus, left, joined
 ``destroy_communicator`` app, comm_id
 ``service_crash``       host, generation   (informational)
 ``service_restart``     host, generation, replayed  (informational)
@@ -50,6 +51,7 @@ _STATE_OPS = {
     "create_communicator",
     "install_strategy",
     "collective_issued",
+    "membership_change",
     "destroy_communicator",
 }
 _INFO_OPS = {"service_crash", "service_restart", "service_upgrade"}
@@ -195,6 +197,7 @@ class StateJournal:
             if rec.op in (
                 "create_communicator",
                 "install_strategy",
+                "membership_change",
                 "destroy_communicator",
             ):
                 return rec.payload["comm_id"] not in destroyed
@@ -283,6 +286,7 @@ def replay_journal(records: List[JournalRecord]) -> ControlPlaneState:
                 "gpus": list(p["gpus"]),
                 "version": strategy["version"],
                 "epoch": 0,
+                "membership_epoch": 0,
                 "next_seq": 0,
                 "strategies": {strategy["version"]: strategy},
             }
@@ -303,6 +307,17 @@ def replay_journal(records: List[JournalRecord]) -> ControlPlaneState:
                     f"journal issues collective on unknown comm {p['comm_id']}"
                 )
             comm["next_seq"] = max(comm["next_seq"], p["seq"] + 1)
+        elif rec.op == "membership_change":
+            # The rank-set cutover; the strategy for the new world arrives
+            # in the subsequent install_strategy record (which bumps the
+            # strategy epoch as usual — membership does not double-bump).
+            comm = state.communicators.get(p["comm_id"])
+            if comm is None:
+                raise JournalError(
+                    f"journal changes membership of unknown comm {p['comm_id']}"
+                )
+            comm["gpus"] = list(p["gpus"])
+            comm["membership_epoch"] = p["epoch"]
         elif rec.op == "destroy_communicator":
             if p["comm_id"] not in state.communicators:
                 raise JournalError(
@@ -331,6 +346,7 @@ def snapshot_deployment(deployment: "MccsDeployment") -> ControlPlaneState:
             "gpus": [gpu.global_id for gpu in comm.gpus],
             "version": comm.strategy.version,
             "epoch": len(comm.strategy_history) - 1,
+            "membership_epoch": comm.membership_epoch,
             "next_seq": comm.next_seq,
             "strategies": {
                 version: strategy_descriptor(strategy)

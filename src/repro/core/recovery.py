@@ -146,6 +146,21 @@ class RecoveryManager:
     def recovering(self, comm_id: int) -> bool:
         return comm_id in self._cycles
 
+    def membership_changed(self, comm: ServiceCommunicator, kind: str) -> None:
+        """Elastic-coordinator notification: ``comm`` grew or shrank.
+
+        Any in-flight repair episode is obsolete — its quiesced window and
+        rank bookkeeping referred to the old rank numbering — so the
+        episode is dropped; fresh failures on the new membership open a
+        fresh one.  ``kind`` is ``"rank_join"`` or ``"rank_leave"``.
+        """
+        self._cycles.pop(comm.comm_id, None)
+        self._log(
+            comm,
+            "membership_changed",
+            f"kind={kind} epoch={comm.membership_epoch} world={comm.world}",
+        )
+
     def _log(self, comm: ServiceCommunicator, event: str, detail: str) -> None:
         entry = {
             "time": self.sim.now,
@@ -407,10 +422,21 @@ class RecoveryManager:
         cluster = self.deployment.cluster
         survivors = [g for g in comm.gpus if cluster.hosts[g.host_id].alive]
         if len(survivors) < 2:
+            # Terminal, not silent: a communicator that cannot be re-formed
+            # is an operator-visible verdict (the tenant has nothing left
+            # to fail over to), so emit a typed event and a counter to
+            # alert on instead of burying it in the audit trail.
             self._log(
-                comm, "reform_skipped",
-                f"only {len(survivors)} surviving rank(s)",
+                comm,
+                "reform_skipped_unrecoverable",
+                f"comm{comm.comm_id} not re-formed: only {len(survivors)} "
+                f"surviving rank(s), need 2",
             )
+            self.telemetry.metrics.counter(
+                "mccs_reform_skipped_total",
+                "Survivor re-formations skipped because fewer than two "
+                "ranks survived (the communicator is unrecoverable).",
+            ).inc(app=comm.app_id)
             return
         successor = self.deployment.create_communicator(comm.app_id, survivors)
         self.reformed[comm.comm_id] = successor

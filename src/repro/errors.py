@@ -21,6 +21,7 @@ from .netsim.errors import (
     JournalError,
     LinkDownError,
     MccsError,
+    MembershipChangeError,
     NetSimError,
     NicFailedError,
     NoPathError,
@@ -52,6 +53,7 @@ __all__ = [
     "JournalError",
     "LinkDownError",
     "MccsError",
+    "MembershipChangeError",
     "NetSimError",
     "NicFailedError",
     "NoPathError",

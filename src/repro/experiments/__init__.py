@@ -17,6 +17,7 @@ from . import (
     fig_attribution,
     fig_autotune,
     fig_crashloop,
+    fig_elastic,
     fig_failover,
 )
 from .report import Stat, cdf_points, format_table, geometric_mean, print_table
@@ -41,6 +42,7 @@ ALL_FIGURES = {
     "autotune": fig_autotune,
     "crashloop": fig_crashloop,
     "attribution": fig_attribution,
+    "elastic": fig_elastic,
 }
 
 __all__ = [
@@ -59,6 +61,7 @@ __all__ = [
     "fig_attribution",
     "fig_autotune",
     "fig_crashloop",
+    "fig_elastic",
     "fig_failover",
     "format_table",
     "geometric_mean",

@@ -68,7 +68,14 @@ def _run_once(
     placements = qos_setup()
     generators: Dict[str, TrafficGenerator] = {}
     for placement in placements:
-        state = manager.admit(placement.app_id, placement.resolve(cluster))
+        # Pinned ECMP namespace: the measured orderings must depend on the
+        # per-trial ecmp_seed, not on how many communicators this process
+        # happened to create before (the global comm-id counter).
+        state = manager.admit(
+            placement.app_id,
+            placement.resolve(cluster),
+            datapath_tag=f"fig09/{placement.app_id}",
+        )
         client = deployment.connect(placement.app_id)
         comm = client.adopt_communicator(state.comm_id)
         if placement.app_id == "A":
@@ -127,7 +134,11 @@ def profile_ts_schedule(
     placements = [p for p in qos_setup() if p.app_id in ("A", "B")]
     state_b = None
     for placement in placements:
-        state = manager.admit(placement.app_id, placement.resolve(cluster))
+        state = manager.admit(
+            placement.app_id,
+            placement.resolve(cluster),
+            datapath_tag=f"fig09/{placement.app_id}",
+        )
         if placement.app_id == "B":
             state_b = state
         client = deployment.connect(placement.app_id)

@@ -13,7 +13,13 @@ directly, so recovery paths are exercised end to end (flow failures,
 dead-proxy launches, missed heartbeats).
 """
 
-from .plan import FaultEvent, FaultKind, FaultPlan
+from .plan import BandwidthDriftPlan, FaultEvent, FaultKind, FaultPlan
 from .injector import FaultInjector
 
-__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]
+__all__ = [
+    "BandwidthDriftPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+]

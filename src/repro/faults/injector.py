@@ -74,6 +74,11 @@ class FaultInjector:
             FaultKind.ENGINE_RESTART: lambda: self.restart_service(
                 event.host_id
             ),
+            FaultKind.BANDWIDTH_DRIFT: lambda: self.drift_bandwidth(
+                event.link_id, event.factor
+            ),
+            FaultKind.RANK_LEAVE: lambda: self.rank_leave(event.comm_id),
+            FaultKind.RANK_JOIN: lambda: self.rank_join(event.comm_id),
         }[event.kind]
         handler()
         self.injected.append((self.sim.now, event))
@@ -105,7 +110,20 @@ class FaultInjector:
     def restore_capacity(self, link_id: str) -> None:
         original = self._saved_caps.pop(link_id, None)
         if original is not None:
-            self.sim.set_link_capacity(link_id, original)
+            # A resized link is news to pinned routes, so go through the
+            # epoch-bumping entry point rather than set_link_capacity.
+            self.sim.set_link_bandwidth(link_id, original)
+
+    def drift_bandwidth(self, link_id: str, factor: float) -> None:
+        """Resize the link to ``factor`` of its *original* capacity.
+
+        Unlike :meth:`degrade_link` this models a provider-side capacity
+        change (WAN bandwidth drift): pinned routes are re-resolved via
+        the topology's routing epoch, and the factor may exceed 1.
+        """
+        if link_id not in self._saved_caps:
+            self._saved_caps[link_id] = self.sim.link_capacity(link_id)
+        self.sim.set_link_bandwidth(link_id, self._saved_caps[link_id] * factor)
 
     # ------------------------------------------------------------------
     # NIC faults
@@ -176,3 +194,25 @@ class FaultInjector:
         if not self.cluster.hosts[host_id].alive:
             return
         self.deployment.restart_service(host_id)
+
+    # ------------------------------------------------------------------
+    # elastic membership churn
+    # ------------------------------------------------------------------
+    def rank_leave(self, comm_id: Optional[int] = None) -> None:
+        """One rank leaves a communicator gracefully (elastic shrink).
+
+        Delegates to the deployment's elastic coordinator; a documented
+        no-op when elasticity is not armed or no communicator can shrink.
+        """
+        elastic = getattr(self.deployment, "elastic", None)
+        if elastic is None:
+            return
+        elastic.chaos_shrink(comm_id)
+
+    def rank_join(self, comm_id: Optional[int] = None) -> None:
+        """A spare GPU joins a communicator (elastic grow).  No-op when
+        elasticity is not armed or no spare GPU is available."""
+        elastic = getattr(self.deployment, "elastic", None)
+        if elastic is None:
+            return
+        elastic.chaos_grow(comm_id)

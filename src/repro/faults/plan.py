@@ -31,6 +31,15 @@ class FaultKind(str, Enum):
     SERVICE_CRASH = "service_crash"
     #: The service process is restarted (journal replay).
     ENGINE_RESTART = "engine_restart"
+    #: A link's capacity is *resized* (WAN bandwidth drift).  Unlike
+    #: ``LINK_DEGRADE`` the factor may exceed 1 and pinned routes are
+    #: re-resolved, modelling a provider-side capacity change rather
+    #: than a fault on the device.
+    BANDWIDTH_DRIFT = "bandwidth_drift"
+    #: One rank leaves a communicator gracefully (elastic shrink).
+    RANK_LEAVE = "rank_leave"
+    #: A new rank joins a communicator (elastic grow).
+    RANK_JOIN = "rank_join"
 
 
 #: Kinds that target a link id.
@@ -39,11 +48,14 @@ _LINK_KINDS = {
     FaultKind.LINK_UP,
     FaultKind.LINK_DEGRADE,
     FaultKind.LINK_RESTORE,
+    FaultKind.BANDWIDTH_DRIFT,
 }
 #: Kinds that target a (host, nic) pair.
 _NIC_KINDS = {FaultKind.NIC_FAIL, FaultKind.NIC_RECOVER}
 #: Kinds that target a host's service process.
 _SERVICE_KINDS = {FaultKind.SERVICE_CRASH, FaultKind.ENGINE_RESTART}
+#: Kinds that target a communicator's membership (elastic churn).
+_MEMBERSHIP_KINDS = {FaultKind.RANK_LEAVE, FaultKind.RANK_JOIN}
 
 
 @dataclass(frozen=True)
@@ -57,7 +69,11 @@ class FaultEvent:
         host_id: Target host (NIC and host kinds).
         nic_index: Target NIC index within the host (NIC kinds only).
         factor: Remaining capacity fraction for ``LINK_DEGRADE``
-            (0.25 = the link keeps a quarter of its capacity).
+            (0.25 = the link keeps a quarter of its capacity), or the
+            resize multiplier for ``BANDWIDTH_DRIFT`` (may exceed 1).
+        comm_id: Target communicator for the membership kinds
+            (``RANK_LEAVE`` / ``RANK_JOIN``); ``None`` lets the injector
+            pick one deterministically at fire time.
     """
 
     time: float
@@ -66,6 +82,7 @@ class FaultEvent:
     host_id: Optional[int] = None
     nic_index: Optional[int] = None
     factor: float = 1.0
+    comm_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -82,15 +99,23 @@ class FaultEvent:
             raise ValueError(f"{self.kind.value} needs a host_id")
         if self.kind is FaultKind.LINK_DEGRADE and not 0.0 < self.factor < 1.0:
             raise ValueError("degrade factor must be in (0, 1)")
+        if self.kind is FaultKind.BANDWIDTH_DRIFT and self.factor <= 0.0:
+            raise ValueError("drift factor must be positive")
 
     def describe(self) -> str:
         if self.kind in _LINK_KINDS:
             target = self.link_id
         elif self.kind in _NIC_KINDS:
             target = f"h{self.host_id}.nic{self.nic_index}"
+        elif self.kind in _MEMBERSHIP_KINDS:
+            target = "comm*" if self.comm_id is None else f"comm{self.comm_id}"
         else:
             target = f"h{self.host_id}"
-        extra = f" x{self.factor:g}" if self.kind is FaultKind.LINK_DEGRADE else ""
+        extra = (
+            f" x{self.factor:g}"
+            if self.kind in (FaultKind.LINK_DEGRADE, FaultKind.BANDWIDTH_DRIFT)
+            else ""
+        )
         return f"t={self.time:g}s {self.kind.value} {target}{extra}"
 
 
@@ -199,10 +224,66 @@ class FaultPlan:
             FaultEvent(time, FaultKind.ENGINE_RESTART, host_id=host_id)
         )
 
+    def bandwidth_drift(
+        self,
+        time: float,
+        link_id: str,
+        factor: float,
+        *,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Resize ``link_id`` to ``factor`` of its original capacity.
+
+        With ``duration`` given, a ``LINK_RESTORE`` is paired that many
+        seconds later, putting the original capacity back.
+        """
+        self.add(
+            FaultEvent(
+                time, FaultKind.BANDWIDTH_DRIFT, link_id=link_id, factor=factor
+            )
+        )
+        if duration is not None:
+            self.add(
+                FaultEvent(time + duration, FaultKind.LINK_RESTORE, link_id=link_id)
+            )
+        return self
+
+    def rank_leave(
+        self, time: float, comm_id: Optional[int] = None
+    ) -> "FaultPlan":
+        """One rank leaves a communicator gracefully at ``time``."""
+        return self.add(
+            FaultEvent(time, FaultKind.RANK_LEAVE, comm_id=comm_id)
+        )
+
+    def rank_join(
+        self, time: float, comm_id: Optional[int] = None
+    ) -> "FaultPlan":
+        """A spare GPU joins a communicator at ``time``."""
+        return self.add(
+            FaultEvent(time, FaultKind.RANK_JOIN, comm_id=comm_id)
+        )
+
     def describe(self) -> List[str]:
         return [event.describe() for event in self.events]
 
     # ------------------------------------------------------------------
+    #: Relative draw weights for :meth:`random` at ``version=2``.  Link
+    #: faults and bandwidth drift dominate (they are by far the most
+    #: common events in production fabrics); host crashes are rare and
+    #: permanent, so they get the lowest weight; elastic churn sits in
+    #: between.  Kinds absent from the table draw with weight 1.
+    DEFAULT_KIND_WEIGHTS = {
+        FaultKind.LINK_DOWN: 3,
+        FaultKind.LINK_DEGRADE: 3,
+        FaultKind.BANDWIDTH_DRIFT: 3,
+        FaultKind.NIC_FAIL: 2,
+        FaultKind.SERVICE_CRASH: 2,
+        FaultKind.HOST_CRASH: 1,
+        FaultKind.RANK_LEAVE: 1,
+        FaultKind.RANK_JOIN: 1,
+    }
+
     @classmethod
     def random(
         cls,
@@ -223,6 +304,7 @@ class FaultPlan:
         link_candidates: Optional[Sequence[str]] = None,
         host_candidates: Optional[Sequence[int]] = None,
         transient_fraction: float = 0.5,
+        version: int = 2,
     ) -> "FaultPlan":
         """Draw a random plan, reproducible from one ``rng``/``seed``.
 
@@ -232,11 +314,18 @@ class FaultPlan:
         transient (auto-recovery after a random fraction of the remaining
         horizon) with probability ``transient_fraction`` — host crashes
         are always permanent.
+
+        ``version`` selects the kind-draw scheme: ``2`` (default) weighs
+        kinds by :attr:`DEFAULT_KIND_WEIGHTS`; ``1`` reproduces the
+        historical uniform draw exactly, so chaos seeds recorded against
+        older releases replay unchanged.
         """
         if rng is None:
             rng = random.Random(seed)
         if num_faults < 0:
             raise ValueError("num_faults must be non-negative")
+        if version not in (1, 2):
+            raise ValueError(f"unknown fault-plan version {version!r}")
         if link_candidates is None:
             link_candidates = sorted(
                 link_id
@@ -247,8 +336,13 @@ class FaultPlan:
             host_candidates = list(range(cluster.num_hosts))
         plan = cls()
         crashed: set = set()
+        kinds_list = list(kinds)
+        weights = [cls.DEFAULT_KIND_WEIGHTS.get(k, 1) for k in kinds_list]
         for _ in range(num_faults):
-            kind = rng.choice(list(kinds))
+            if version == 1:
+                kind = rng.choice(kinds_list)
+            else:
+                kind = rng.choices(kinds_list, weights=weights)[0]
             time = rng.uniform(min_time, horizon)
             transient = rng.random() < transient_fraction
             duration = rng.uniform(0.1, max(horizon - time, 0.2)) if transient else None
@@ -280,4 +374,61 @@ class FaultPlan:
                 # Transient service crashes pair an explicit restart; the
                 # rest rely on the deployment's supervisor (if armed).
                 plan.service_crash(time, host_id, duration=duration)
+            elif kind is FaultKind.BANDWIDTH_DRIFT and link_candidates:
+                plan.bandwidth_drift(
+                    time,
+                    rng.choice(list(link_candidates)),
+                    rng.uniform(0.2, 0.9),
+                    duration=duration,
+                )
+            elif kind is FaultKind.RANK_LEAVE:
+                plan.rank_leave(time)
+            elif kind is FaultKind.RANK_JOIN:
+                plan.rank_join(time)
+        return plan
+
+
+@dataclass
+class BandwidthDriftPlan:
+    """Seedable random-walk of WAN link capacities.
+
+    Every ``interval`` seconds each link in ``links`` takes one bounded
+    step: its capacity factor moves by up to ``max_step`` (uniform,
+    either direction) and is clamped to ``factor_range``.  The walk is
+    fully determined by ``seed``, so a drifting-WAN experiment replays
+    exactly.  With ``restore`` set, every link is restored to its
+    original capacity one interval after the last step.
+    """
+
+    links: Sequence[str]
+    start: float = 0.5
+    interval: float = 0.5
+    steps: int = 4
+    factor_range: Tuple[float, float] = (0.25, 1.0)
+    max_step: float = 0.25
+    seed: int = 0
+    restore: bool = True
+
+    def to_fault_plan(self, plan: Optional[FaultPlan] = None) -> FaultPlan:
+        """Materialize the walk as ``BANDWIDTH_DRIFT`` fault events."""
+        if plan is None:
+            plan = FaultPlan()
+        lo, hi = self.factor_range
+        if not 0.0 < lo <= hi:
+            raise ValueError("factor_range must satisfy 0 < lo <= hi")
+        rng = random.Random(self.seed)
+        factors = {link: 1.0 for link in self.links}
+        for step in range(self.steps):
+            time = self.start + step * self.interval
+            for link in self.links:
+                factor = factors[link] + rng.uniform(-self.max_step, self.max_step)
+                factor = min(hi, max(lo, factor))
+                factors[link] = factor
+                plan.bandwidth_drift(time, link, factor)
+        if self.restore:
+            time = self.start + self.steps * self.interval
+            for link in self.links:
+                plan.add(
+                    FaultEvent(time, FaultKind.LINK_RESTORE, link_id=link)
+                )
         return plan

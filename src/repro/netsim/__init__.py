@@ -22,17 +22,21 @@ from .fabric import (
     Fabric,
     FabricSpec,
     MultiPodSpec,
+    RegionSpec,
     RingFabricSpec,
     fabric_paths,
     intra_host_path,
     large_cluster_fabric,
     local_link_id,
     multi_pod_clos,
+    multi_region,
     nic_node,
     spine_leaf,
     spine_links,
     switch_ring,
     testbed_fabric,
+    wan_link_id,
+    wan_links,
 )
 from .fairness import FairnessSolver, bottleneck_rate, link_loads, progressive_filling
 from .flows import Flow
@@ -72,6 +76,7 @@ __all__ = [
     "PathSelector",
     "RandomSelector",
     "ReproError",
+    "RegionSpec",
     "RingFabricSpec",
     "RouteIdSelector",
     "RouteMap",
@@ -89,6 +94,7 @@ __all__ = [
     "link_loads",
     "local_link_id",
     "multi_pod_clos",
+    "multi_region",
     "nic_node",
     "progressive_filling",
     "spine_leaf",
@@ -96,4 +102,6 @@ __all__ = [
     "switch_ring",
     "testbed_fabric",
     "units",
+    "wan_link_id",
+    "wan_links",
 ]

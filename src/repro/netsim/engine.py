@@ -428,6 +428,20 @@ class FlowSimulator:
             self._inc.set_capacity(link_id, capacity)
         self._dirty = True
 
+    def set_link_bandwidth(self, link_id: str, capacity: float) -> None:
+        """Live bandwidth change with route re-resolution (WAN drift).
+
+        Same exact capacity mutation as :meth:`set_link_capacity` —
+        flowing through the incremental/macro/sharded solver chain via
+        ``set_capacity`` — plus a topology routing-epoch bump so
+        consumers with pinned paths (:class:`~repro.transport.
+        connections.ConnectionTable`) re-resolve and the resized link
+        is actually reconsidered by ECMP.  In-flight flows keep their
+        paths and simply see the new fair-share rates.
+        """
+        self.set_link_capacity(link_id, capacity)
+        self.topology.bump_routing_epoch()
+
     def link_capacity(self, link_id: str) -> float:
         return self._capacities[link_id]
 

@@ -135,3 +135,12 @@ class UpgradeError(MccsError):
 
 class JournalError(MccsError):
     """The write-ahead state journal was used or replayed inconsistently."""
+
+
+class MembershipChangeError(MccsError):
+    """An elastic grow/shrink request could not be carried out.
+
+    Raised synchronously for inapplicable requests (unknown ranks, a
+    membership change already in flight, shrinking below two ranks) and
+    delivered to ``on_failed`` when the drain barrier fails terminally.
+    """

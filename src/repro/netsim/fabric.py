@@ -302,6 +302,167 @@ def multi_pod_clos(spec: MultiPodSpec | None = None) -> Fabric:
 
 
 @dataclass
+class RegionSpec:
+    """Parameters of a geo-distributed multi-region fabric.
+
+    Each region is a self-contained spine-leaf Clos; regions are joined
+    by **WAN links** — high-RTT, low-bandwidth duplex cables between
+    per-region border routers, full-meshed so any region pair is one WAN
+    hop apart.  This is the Prime-CCL scenario family: training jobs
+    spanning regions whose inter-region bandwidth is orders of magnitude
+    below the intra-region fabric and may drift while collectives run.
+
+    The spec duck-types :class:`FabricSpec` for the cluster layer
+    (``num_hosts`` / ``nics_per_host`` / ``leaf_of_host`` / ...) and adds
+    ``region_of_host`` — its presence is what gives WAN-crossing
+    communicators a distinct topology fingerprint in the autotuner.
+
+    ``wan_rtt`` is the one-way inter-region propagation delay in
+    seconds.  The fluid flow model carries capacities, not delays, so
+    the RTT is consumed by the workload layer
+    (:func:`repro.workloads.traces.geo_distributed_trace`) as extra
+    per-sync latency.
+    """
+
+    regions: int = 2
+    spines_per_region: int = 2
+    leaves_per_region: int = 2
+    hosts_per_leaf: int = 2
+    nics_per_host: int = 2
+    nic_gbps: float = 50.0
+    fabric_gbps: float = 50.0
+    wan_gbps: float = 10.0
+    wan_rtt: float = 0.03
+    local_gBps: float = 25.0
+    name: str = "multi-region"
+
+    @property
+    def hosts_per_region(self) -> int:
+        return self.leaves_per_region * self.hosts_per_leaf
+
+    @property
+    def num_leaves(self) -> int:
+        return self.regions * self.leaves_per_region
+
+    @property
+    def num_spines(self) -> int:
+        return self.regions * self.spines_per_region
+
+    @property
+    def num_hosts(self) -> int:
+        return self.regions * self.hosts_per_region
+
+    def region_of_host(self, host: int) -> int:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_region
+
+    def leaf_of_host(self, host: int) -> int:
+        """Global leaf index (region-major) of ``host``."""
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_leaf
+
+    def hosts_of_leaf(self, leaf: int) -> List[int]:
+        return list(
+            range(leaf * self.hosts_per_leaf, (leaf + 1) * self.hosts_per_leaf)
+        )
+
+    def hosts_of_region(self, region: int) -> List[int]:
+        if not 0 <= region < self.regions:
+            raise ValueError(f"region {region} out of range")
+        return list(
+            range(
+                region * self.hosts_per_region,
+                (region + 1) * self.hosts_per_region,
+            )
+        )
+
+
+def wan_link_id(src_region: int, dst_region: int) -> str:
+    """Id of the directed WAN link from one region's border to another's."""
+    return f"wan:r{src_region}->r{dst_region}"
+
+
+def multi_region(spec: RegionSpec | None = None) -> Fabric:
+    """Build a multi-region fabric: per-region Clos joined by WAN links.
+
+    Node naming (host numbering is global and region-major, so
+    :func:`nic_node` endpoints stay compatible with the cluster layer):
+
+    * borders: ``r{r}.border`` — one WAN-facing router per region,
+      uplinked from every spine of the region at ``fabric_gbps``
+    * spines:  ``r{r}.spine{s}``
+    * leaves:  ``r{r}.leaf{l}`` (uplinked to every spine of region ``r``)
+    * WAN:     ``wan:r{a}->r{b}`` duplex pairs at ``wan_gbps``, full mesh
+    * NICs / local links: as in :func:`spine_leaf`
+
+    Every switch and NIC node carries a ``region`` attribute.
+    """
+    spec = spec or RegionSpec()
+    topo = Topology(spec.name)
+    for r in range(spec.regions):
+        topo.add_node(f"r{r}.border", kind="border", region=r)
+        for s in range(spec.spines_per_region):
+            spine = f"r{r}.spine{s}"
+            topo.add_node(spine, kind="spine", region=r)
+            topo.add_duplex_link(spine, f"r{r}.border", gbps(spec.fabric_gbps))
+        for l in range(spec.leaves_per_region):
+            leaf = f"r{r}.leaf{l}"
+            topo.add_node(leaf, kind="leaf", region=r)
+            for s in range(spec.spines_per_region):
+                topo.add_duplex_link(
+                    leaf, f"r{r}.spine{s}", gbps(spec.fabric_gbps)
+                )
+    for a in range(spec.regions):
+        for b in range(a + 1, spec.regions):
+            topo.add_link(
+                f"r{a}.border",
+                f"r{b}.border",
+                gbps(spec.wan_gbps),
+                link_id=wan_link_id(a, b),
+            )
+            topo.add_link(
+                f"r{b}.border",
+                f"r{a}.border",
+                gbps(spec.wan_gbps),
+                link_id=wan_link_id(b, a),
+            )
+    for host in range(spec.num_hosts):
+        region = spec.region_of_host(host)
+        leaf = (
+            f"r{region}.leaf"
+            f"{spec.leaf_of_host(host) % spec.leaves_per_region}"
+        )
+        for k in range(spec.nics_per_host):
+            topo.add_node(
+                nic_node(host, k), kind="nic", host=host, nic=k, region=region
+            )
+            topo.add_duplex_link(nic_node(host, k), leaf, gbps(spec.nic_gbps))
+        topo.add_node(f"h{host}.local.src", kind="local", host=host, region=region)
+        topo.add_node(f"h{host}.local.dst", kind="local", host=host, region=region)
+        topo.add_link(
+            f"h{host}.local.src",
+            f"h{host}.local.dst",
+            gBps(spec.local_gBps),
+            link_id=local_link_id(host),
+        )
+    _share_paths(("multi-region", *astuple(spec)), topo)
+    return Fabric(
+        spec=spec, topology=topo, num_fabric_paths=spec.spines_per_region
+    )
+
+
+def wan_links(fabric: Fabric) -> List[str]:
+    """All inter-region WAN link ids of a :func:`multi_region` fabric."""
+    return sorted(
+        link_id
+        for link_id in fabric.topology.links
+        if link_id.startswith("wan:")
+    )
+
+
+@dataclass
 class RingFabricSpec:
     """Parameters for the Figure 7 showcase fabric."""
 

@@ -83,6 +83,14 @@ class Topology:
         # plus every explicitly validated one): flow injection validates
         # a known path with one set lookup instead of walking its links.
         self._known_paths: Set[Tuple[str, ...]] = set()
+        # Monotonic routing generation.  Bumped when the *usable* path set
+        # widens (link restored, capacity resized) — consumers that pin
+        # paths at establishment (ConnectionTable) compare epochs and
+        # re-resolve, so a repaired or resized link actually carries
+        # traffic again.  Deliberately NOT bumped on link failure: a
+        # pinned path through a down link must keep raising LinkDownError
+        # (that is the failure-detection signal).
+        self._routing_epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -198,6 +206,9 @@ class Topology:
             return False
         if up:
             self._down.discard(link_id)
+            # A restored link widens the usable path set; pinned routes
+            # must re-resolve to start using it again (see _routing_epoch).
+            self._routing_epoch += 1
         else:
             self._down.add(link_id)
         self._path_cache = {}
@@ -205,6 +216,22 @@ class Topology:
         self._known_paths = set()
         self._compact = None
         return True
+
+    @property
+    def routing_epoch(self) -> int:
+        """Generation counter for routing-relevant improvements.
+
+        Consumers that pin paths (ECMP selection happens once per
+        connection lifetime in :class:`~repro.transport.connections.
+        ConnectionTable`) snapshot this value and re-resolve their pins
+        when it moves — that is how a restored or resized link re-enters
+        service for already-established connections.
+        """
+        return self._routing_epoch
+
+    def bump_routing_epoch(self) -> None:
+        """Force pinned-route consumers to re-resolve (capacity changes)."""
+        self._routing_epoch += 1
 
     def link_is_up(self, link_id: str) -> bool:
         self.link(link_id)

@@ -85,6 +85,11 @@ class ConnectionTable:
         self.discriminator = discriminator
         self._connections: Dict[EdgeId, Connection] = {}
         self.torn_down = False
+        # Routing generation the pinned paths were resolved under.  When
+        # the topology's epoch moves (link restored / bandwidth resized),
+        # the pins are stale: a connection hashed away from a then-down
+        # link would otherwise never use it again.
+        self._routing_epoch = cluster.topology.routing_epoch
 
     def establish(
         self,
@@ -113,6 +118,12 @@ class ConnectionTable:
     def _establish_one(
         self, src: GpuDevice, dst: GpuDevice, channel: int, selector: PathSelector
     ) -> Connection:
+        epoch = self.cluster.topology.routing_epoch
+        if epoch != self._routing_epoch:
+            # Re-resolve every pin: the usable path set widened since the
+            # connections were established (restored or resized link).
+            self._connections.clear()
+            self._routing_epoch = epoch
         edge = (src.global_id, dst.global_id, channel)
         if edge in self._connections:
             return self._connections[edge]

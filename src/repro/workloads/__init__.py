@@ -19,6 +19,7 @@ from .traces import (
     TraceStep,
     TrainingTrace,
     data_parallel_trace,
+    geo_distributed_trace,
     gpt_tp_trace,
     resnet50_dp_trace,
     tensor_parallel_trace,
@@ -37,6 +38,7 @@ __all__ = [
     "TrainingBreakdown",
     "TrainingTrace",
     "data_parallel_trace",
+    "geo_distributed_trace",
     "empirical_cross_rack_curve",
     "gpt_2_7b",
     "gpt_tp_trace",

@@ -159,3 +159,47 @@ def gpt_tp_trace(iterations: int, **kw) -> TrainingTrace:
 def resnet50_dp_trace(iterations: int, **kw) -> TrainingTrace:
     """The §6.5 simulation workload: ResNet-50 DDP, 100 MB of gradients."""
     return data_parallel_trace(resnet50(), iterations, **kw)
+
+
+def geo_distributed_trace(
+    iterations: int,
+    *,
+    bucket_bytes: int = 4 * 1024**2,
+    buckets_per_iteration: int = 4,
+    compute_per_iteration: float = 0.02,
+    wan_rtt: float = 0.03,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
+) -> TrainingTrace:
+    """Geo-distributed data-parallel training across WAN-joined regions.
+
+    Cross-region DDP hides most of the WAN latency behind backward
+    compute, but every gradient bucket still pays at least one WAN
+    round-trip of synchronization slack (parameter-server heartbeats,
+    straggler waits) that intra-region jobs never see.  The trace models
+    that as an extra ``wan_rtt`` of gap on each bucket step, so replaying
+    it over a :func:`~repro.netsim.fabric.multi_region` fabric produces
+    the long-thin-pipe traffic pattern the elastic experiments stress.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    if buckets_per_iteration <= 0:
+        raise ValueError("buckets_per_iteration must be positive")
+    rng = random.Random(seed) if seed is not None else None
+    compute_each = compute_per_iteration / buckets_per_iteration
+    steps: List[TraceStep] = []
+    for _ in range(iterations):
+        for _ in range(buckets_per_iteration):
+            steps.append(
+                TraceStep(
+                    _jittered(compute_each + wan_rtt, jitter, rng),
+                    Collective.ALL_REDUCE,
+                    bucket_bytes,
+                )
+            )
+    return TrainingTrace(
+        name="geo-dp",
+        steps=steps,
+        iterations=iterations,
+        steps_per_iteration=buckets_per_iteration,
+    )

@@ -30,7 +30,7 @@ from repro.core.controller import CentralManager
 from repro.core.deployment import MccsDeployment
 from repro.core.recovery import RecoveryPolicy
 from repro.errors import CommunicatorError, ReproError
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.netsim.units import MB
 
 pytestmark = pytest.mark.chaos
@@ -57,6 +57,10 @@ def run_chaos(seed: int, *, num_faults: int = 2, num_ops: int = 3) -> dict:
     # Service crashes (now in FaultPlan.random's default kind mix) are
     # repaired by supervised journal-replay restarts.
     deployment.enable_service_supervision()
+    # rank_join / rank_leave events below reshape the victim live; every
+    # pre-churn collective still drains under its issue-time membership,
+    # so the byte-exact check stays pinned to the original world size.
+    deployment.enable_elasticity()
     manager = CentralManager(deployment)
 
     victim_gpus = [cluster.hosts[h].gpus[0] for h in range(4)]
@@ -77,6 +81,16 @@ def run_chaos(seed: int, *, num_faults: int = 2, num_ops: int = 3) -> dict:
         horizon=0.05,
         min_time=0.001,
         num_faults=num_faults,
+        kinds=(
+            FaultKind.LINK_DOWN,
+            FaultKind.LINK_DEGRADE,
+            FaultKind.BANDWIDTH_DRIFT,
+            FaultKind.NIC_FAIL,
+            FaultKind.HOST_CRASH,
+            FaultKind.SERVICE_CRASH,
+            FaultKind.RANK_LEAVE,
+            FaultKind.RANK_JOIN,
+        ),
         host_candidates=[2, 3],  # keep hosts 0-1 (healthy tenant) safe
     )
     injector = FaultInjector(

@@ -306,3 +306,23 @@ def test_heartbeat_monitor_rejects_bad_interval(deployment):
     manager = RecoveryManager(deployment)
     with pytest.raises(ValueError):
         HeartbeatMonitor(deployment, manager, interval=0.0, until=1.0)
+
+
+def test_reform_skipped_when_fewer_than_two_survivors(
+    cluster, deployment, manager, injector
+):
+    """<2 survivors: no successor, but a typed event and an alertable
+    counter instead of a silent return."""
+    recovery = deployment.enable_recovery(RecoveryPolicy(), heartbeat_until=1.0)
+    gpus = [cluster.hosts[0].gpus[0], cluster.hosts[3].gpus[0]]
+    client, comm = _admit(manager, deployment, gpus)
+    injector.schedule(FaultPlan().host_crash(0.004, 3))
+    op = client.all_reduce(comm, 64 * MB)
+    deployment.run()
+
+    comm_obj = deployment.communicator(comm.comm_id)
+    assert comm_obj.aborted and op.instance.aborted
+    assert comm.comm_id not in recovery.reformed
+    assert "reform_skipped_unrecoverable" in _events(recovery)
+    metrics = deployment.telemetry().metrics
+    assert metrics.counter("mccs_reform_skipped_total").value(app="A") == 1

@@ -38,7 +38,7 @@ def test_cli_runs_selected_figure(capsys):
 def test_all_figures_registry_complete():
     assert set(ALL_FIGURES) == {
         "fig02", "fig03", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-        "failover", "autotune", "crashloop", "attribution",
+        "failover", "autotune", "crashloop", "attribution", "elastic",
     }
     for module in ALL_FIGURES.values():
         assert hasattr(module, "main")

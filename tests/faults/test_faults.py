@@ -253,3 +253,106 @@ def test_fail_link_idempotent():
     sim.restore_link("a->b")
     sim.restore_link("a->b")  # idempotent
     assert sim.link_is_up("a->b")
+
+
+# ----------------------------------------------------------------------
+# bandwidth drift + membership kinds + plan versioning
+# ----------------------------------------------------------------------
+def test_bandwidth_drift_builder_validates_and_pairs_restore():
+    with pytest.raises(ValueError, match="positive"):
+        FaultEvent(0.0, FaultKind.BANDWIDTH_DRIFT, link_id="a->b", factor=0.0)
+    plan = FaultPlan().bandwidth_drift(0.1, "a->b", 0.5, duration=0.2)
+    assert [e.kind for e in plan.events] == [
+        FaultKind.BANDWIDTH_DRIFT,
+        FaultKind.LINK_RESTORE,
+    ]
+
+
+def test_membership_builders_describe_targets():
+    plan = FaultPlan().rank_leave(0.1).rank_join(0.2, comm_id=7)
+    assert [e.kind for e in plan.events] == [
+        FaultKind.RANK_LEAVE,
+        FaultKind.RANK_JOIN,
+    ]
+    described = " ".join(plan.describe())
+    assert "comm*" in described and "comm7" in described
+
+
+def test_drift_plan_walk_is_seeded_bounded_and_restoring():
+    from repro.faults import BandwidthDriftPlan
+
+    drift = BandwidthDriftPlan(
+        links=["a->b", "c->d"], start=0.1, interval=0.1, steps=3, seed=9
+    )
+    plan = drift.to_fault_plan()
+    again = drift.to_fault_plan()
+    assert [
+        (e.time, e.kind, e.link_id, e.factor) for e in plan.events
+    ] == [(e.time, e.kind, e.link_id, e.factor) for e in again.events]
+    drifts = [e for e in plan.events if e.kind is FaultKind.BANDWIDTH_DRIFT]
+    restores = [e for e in plan.events if e.kind is FaultKind.LINK_RESTORE]
+    assert len(drifts) == 6  # 3 steps x 2 links
+    lo, hi = drift.factor_range
+    assert all(lo <= e.factor <= hi for e in drifts)
+    # Every link is restored one interval after its last step.
+    assert sorted(e.link_id for e in restores) == ["a->b", "c->d"]
+    assert all(e.time == pytest.approx(0.4) for e in restores)
+
+
+def test_drift_injection_restores_original_capacity():
+    cl = testbed_cluster()
+    from repro.faults import BandwidthDriftPlan
+
+    link = "leaf0->spine0"
+    original = cl.sim.link_capacity(link)
+    injector = FaultInjector(cl)
+    injector.schedule(
+        BandwidthDriftPlan(
+            links=[link],
+            start=0.01,
+            interval=0.01,
+            steps=4,
+            # hi < 1.0 guarantees the very first step moves the capacity.
+            factor_range=(0.25, 0.9),
+            seed=3,
+        ).to_fault_plan()
+    )
+    cl.sim.run(until=0.03)
+    assert cl.sim.link_capacity(link) != original  # mid-walk
+    cl.sim.run(until=0.1)
+    assert cl.sim.link_capacity(link) == original  # exactly restored
+
+
+def test_random_plan_version_guard():
+    cluster = testbed_cluster()
+    with pytest.raises(ValueError, match="version"):
+        FaultPlan.random(cluster, seed=1, version=3)
+    # version=1 reproduces the historical uniform draw: byte-stable
+    # across calls and unaffected by the weighted default scheme.
+    v1a = FaultPlan.random(cluster, seed=11, num_faults=5, version=1)
+    v1b = FaultPlan.random(cluster, seed=11, num_faults=5, version=1)
+    assert [
+        (e.time, e.kind, e.link_id, e.host_id) for e in v1a.events
+    ] == [(e.time, e.kind, e.link_id, e.host_id) for e in v1b.events]
+    v2 = FaultPlan.random(cluster, seed=11, num_faults=5, version=2)
+    assert [e.kind for e in v2.events] != [] and v2.events != v1a.events
+
+
+def test_random_plan_draws_new_kinds_under_weights():
+    cluster = testbed_cluster()
+    kinds = set()
+    for seed in range(40):
+        plan = FaultPlan.random(
+            cluster,
+            seed=seed,
+            num_faults=4,
+            kinds=(
+                FaultKind.BANDWIDTH_DRIFT,
+                FaultKind.RANK_LEAVE,
+                FaultKind.RANK_JOIN,
+            ),
+        )
+        kinds.update(e.kind for e in plan.events)
+    assert FaultKind.BANDWIDTH_DRIFT in kinds
+    assert FaultKind.RANK_LEAVE in kinds
+    assert FaultKind.RANK_JOIN in kinds

@@ -73,6 +73,14 @@ _churn_op = st.one_of(
     st.tuples(st.just("cancel"), st.integers(0, 199)),
     st.tuples(st.just("gate"), st.integers(0, 199)),
     st.tuples(st.just("fail"), st.integers(0, len(_POOL) - 1)),
+    # Live bandwidth drift: resize a link already carrying traffic.  The
+    # factors are dyadic so rate arithmetic stays exactly representable
+    # and the cross-mode comparison can keep using ``==`` on floats.
+    st.tuples(
+        st.just("bw"),
+        st.integers(0, len(_POOL) - 1),
+        st.sampled_from([0.25, 0.5, 2.0]),
+    ),
     st.tuples(st.just("advance"), st.floats(0.01, 0.4)),
 )
 
@@ -116,6 +124,14 @@ def _drive(ops, macro, sharded):
                 sim.fail_link(link)
             except Exception as exc:
                 rejected.append(("fail", type(exc).__name__))
+        elif kind == "bw":
+            link = _POOL[op[1]][0][0]
+            try:
+                sim.set_link_bandwidth(
+                    link, sim.topology.link(link).capacity * op[2]
+                )
+            except Exception as exc:  # link already failed
+                rejected.append(("bw", type(exc).__name__))
         else:  # advance
             sim.run(until=sim.now + op[1])
     sim.run()  # drain whatever can still finish (gated flows stay put)

@@ -88,3 +88,51 @@ def test_route_map_controls_connection_path(cl):
         cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, RouteIdSelector(rm)
     )
     assert "spine1" in " ".join(conn.path)
+
+
+# ----------------------------------------------------------------------
+# routing-epoch pin invalidation (restored / resized links)
+# ----------------------------------------------------------------------
+def test_pins_reresolved_after_link_restore(cl):
+    """A restored link widens the path set: cached pins must not survive."""
+    table = ConnectionTable(cl, "t")
+    cl.sim.fail_link("leaf0->spine0")
+    conn = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector()
+    )
+    assert not any("spine0" in link for link in conn.path)
+    cl.sim.restore_link("leaf0->spine0")
+    again = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector()
+    )
+    # The pin was dropped and the path re-resolved over the full ECMP set.
+    assert again is not conn
+    cl.topology.validate_path(again.path)
+
+
+def test_pins_reresolved_after_bandwidth_resize(cl):
+    """set_link_bandwidth bumps the routing epoch and clears the pins."""
+    table = ConnectionTable(cl, "t")
+    conn = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector()
+    )
+    link = conn.path[1]  # a fabric link on the pinned path
+    cl.sim.set_link_bandwidth(link, cl.topology.link(link).capacity * 2)
+    again = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector()
+    )
+    assert again is not conn
+
+
+def test_link_failure_alone_keeps_pins(cl):
+    """Failure does not move the epoch — only restore/resize do."""
+    table = ConnectionTable(cl, "t")
+    conn = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector()
+    )
+    victim = next(l for l in ("leaf0->spine0", "leaf0->spine1") if l not in conn.path)
+    cl.sim.fail_link(victim)
+    again = table.establish_edge(
+        cl.hosts[0].gpus[0], cl.hosts[2].gpus[0], 0, EcmpSelector()
+    )
+    assert again is conn

@@ -1,19 +1,30 @@
-"""Guard BENCH_netsim.json throughput against regressions.
+"""Guard committed BENCH_*.json metrics against regressions.
 
-Compares a freshly generated ``BENCH_netsim.json`` against the committed
-baseline (``git show HEAD:BENCH_netsim.json`` by default) and fails if
-any ``events_per_sec`` shared by both files regressed more than the
-tolerance.  Used two ways:
+Compares freshly generated bench files against their committed baselines
+(``git show HEAD:<file>`` by default) and fails if any higher-is-better
+metric shared by both files regressed more than the tolerance.  Used two
+ways:
 
-* as the CI compare step, after the bench job rewrites the file::
+* as the CI compare step, after a bench job rewrites the files::
 
       python benchmarks/compare_bench.py
 
-* imported by ``benchmarks/test_netsim_core.py``, which runs the same
-  check in-process against the results it just measured.
+* imported by ``benchmarks/test_netsim_core.py`` and
+  ``benchmarks/test_synth.py``, which run the same check in-process
+  against the results they just measured.
+
+Guarded files:
+
+* ``BENCH_netsim.json`` — engine throughput (``events_per_sec``) in the
+  ``event_loop`` and ``scale_curve`` sections;
+* ``BENCH_synth.json`` — synthesizer search throughput
+  (``programs_per_sec``) and the measured synthesized-vs-builtin
+  ``speedup`` on the WAN fabric.
 
 Only keys present in *both* files are compared, so adding or renaming
 benchmark points never trips the guard; a point that got slower does.
+Fresh files that do not exist yet are skipped (each CI bench job only
+regenerates its own file).
 """
 
 from __future__ import annotations
@@ -22,13 +33,15 @@ import argparse
 import json
 import subprocess
 import sys
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_netsim.json"
+SYNTH_PATH = REPO_ROOT / "BENCH_synth.json"
 
-#: Sections holding throughput points keyed by scenario name.
+#: Sections of BENCH_netsim.json holding throughput points.
 THROUGHPUT_SECTIONS = ("event_loop", "scale_curve")
 
 #: Allowed fractional slowdown before the compare step fails.  The bench
@@ -37,30 +50,51 @@ THROUGHPUT_SECTIONS = ("event_loop", "scale_curve")
 TOLERANCE = 0.30
 
 
+@dataclass(frozen=True)
+class Guard:
+    """One (file, sections, metric) triple to hold the line on."""
+
+    path: Path
+    sections: Tuple[str, ...]
+    metric: str
+
+
+GUARDS = (
+    Guard(BENCH_PATH, THROUGHPUT_SECTIONS, "events_per_sec"),
+    Guard(SYNTH_PATH, ("synthesizer",), "programs_per_sec"),
+    Guard(SYNTH_PATH, ("speedup",), "speedup"),
+)
+
+
 def compare_throughput(
-    baseline: Dict, fresh: Dict, tolerance: float = TOLERANCE
+    baseline: Dict,
+    fresh: Dict,
+    tolerance: float = TOLERANCE,
+    *,
+    sections: Sequence[str] = THROUGHPUT_SECTIONS,
+    metric: str = "events_per_sec",
 ) -> List[str]:
     """Return a list of human-readable regression descriptions (empty = ok)."""
     failures = []
-    for section in THROUGHPUT_SECTIONS:
+    for section in sections:
         base_section = baseline.get(section) or {}
         fresh_section = fresh.get(section) or {}
         for key in sorted(set(base_section) & set(fresh_section)):
-            old = (base_section[key] or {}).get("events_per_sec")
-            new = (fresh_section[key] or {}).get("events_per_sec")
+            old = (base_section[key] or {}).get(metric)
+            new = (fresh_section[key] or {}).get(metric)
             if not old or not new:
                 continue
             if new < old * (1.0 - tolerance):
                 failures.append(
-                    f"{section}[{key}]: {new:,.0f} events/s vs committed "
-                    f"{old:,.0f} ({100.0 * (new / old - 1.0):+.0f}%, "
+                    f"{section}[{key}]: {metric} {new:,.2f} vs committed "
+                    f"{old:,.2f} ({100.0 * (new / old - 1.0):+.0f}%, "
                     f"tolerance -{100.0 * tolerance:.0f}%)"
                 )
     return failures
 
 
 def committed_baseline(path: Path = BENCH_PATH) -> Dict:
-    """The committed version of the bench file (empty dict if unborn)."""
+    """The committed version of a bench file (empty dict if unborn)."""
     rel = path.relative_to(REPO_ROOT)
     proc = subprocess.run(
         ["git", "show", f"HEAD:{rel.as_posix()}"],
@@ -76,27 +110,36 @@ def committed_baseline(path: Path = BENCH_PATH) -> Dict:
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--fresh", type=Path, default=BENCH_PATH,
-        help="freshly generated bench file (default: repo BENCH_netsim.json)",
-    )
-    parser.add_argument(
         "--tolerance", type=float, default=TOLERANCE,
-        help="allowed fractional events_per_sec slowdown",
+        help="allowed fractional metric slowdown",
     )
     args = parser.parse_args(argv)
-    baseline = committed_baseline()
-    fresh = json.loads(args.fresh.read_text())
-    failures = compare_throughput(baseline, fresh, args.tolerance)
+    failures: List[str] = []
+    compared = 0
+    for guard in GUARDS:
+        if not guard.path.exists():
+            continue  # this bench job did not regenerate the file
+        baseline = committed_baseline(guard.path)
+        fresh = json.loads(guard.path.read_text())
+        failures.extend(
+            compare_throughput(
+                baseline,
+                fresh,
+                args.tolerance,
+                sections=guard.sections,
+                metric=guard.metric,
+            )
+        )
+        compared += sum(
+            len(set(baseline.get(s) or {}) & set(fresh.get(s) or {}))
+            for s in guard.sections
+        )
     if failures:
-        print("throughput regressions vs committed BENCH_netsim.json:")
+        print("metric regressions vs committed bench baselines:")
         for line in failures:
             print(f"  {line}")
         return 1
-    compared = sum(
-        len(set(baseline.get(s) or {}) & set(fresh.get(s) or {}))
-        for s in THROUGHPUT_SECTIONS
-    )
-    print(f"no events_per_sec regressions ({compared} points compared)")
+    print(f"no metric regressions ({compared} points compared)")
     return 0
 
 

@@ -1,0 +1,129 @@
+"""Synthesis benchmarks: search throughput and measured schedule wins.
+
+Results are written to ``BENCH_synth.json`` at the repo root so CI can
+archive the trend and ``benchmarks/compare_bench.py`` can guard it:
+
+* ``synthesizer``: validated-and-scored programs/sec of the bounded
+  search (per fabric), plus candidate/front counts — the synthesizer
+  must stay cheap enough to run at communicator-creation time;
+* ``validator``: full validations/sec of the biggest generated program;
+* ``speedup``: per size, the *measured* (flow data plane, not
+  predicted) speedup of the best synthesized schedule over the best
+  built-in on the two-region WAN fabric.  The guard failing means a
+  change lost the paper-level win.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.specs import multi_region_cluster, testbed_cluster
+from repro.collectives.types import Collective
+from repro.experiments.fig_synth import run_synth
+from repro.experiments.setups import single_app_gpus
+from repro.netsim.fabric import RegionSpec
+from repro.netsim.units import KB, MB, format_size
+from repro.synth import Synthesizer, hierarchical_allreduce_program, validate_program
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_synth.json"
+_RESULTS = {"synthesizer": {}, "validator": {}, "speedup": {}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    OUT_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+
+def _placement(fabric):
+    if fabric == "testbed":
+        cluster = testbed_cluster()
+        return cluster, list(single_app_gpus(cluster, "8gpu"))
+    cluster = multi_region_cluster(RegionSpec())
+    return cluster, [h.gpus[0] for h in cluster.hosts]
+
+
+@pytest.mark.parametrize("fabric", ["testbed", "two_region"])
+def test_synthesizer_search_throughput(fabric):
+    cluster, gpus = _placement(fabric)
+    repeats = 10
+    started = time.perf_counter()
+    for _ in range(repeats):
+        synthesizer = Synthesizer(cluster, gpus)
+        front = synthesizer.search(Collective.ALL_REDUCE)
+    elapsed = time.perf_counter() - started
+    per_sec = synthesizer.candidates_generated * repeats / elapsed
+    _RESULTS["synthesizer"][fabric] = {
+        "programs_per_sec": round(per_sec),
+        "candidates": synthesizer.candidates_generated,
+        "front": len(front),
+        "search_seconds": round(elapsed / repeats, 4),
+    }
+    assert front
+    assert elapsed / repeats < 5.0  # cheap enough for communicator setup
+
+
+def test_validator_throughput():
+    program = hierarchical_allreduce_program([[i * 4 + j for j in range(4)]
+                                              for i in range(4)])
+    repeats = 50
+    started = time.perf_counter()
+    for _ in range(repeats):
+        validate_program(program)
+    elapsed = time.perf_counter() - started
+    _RESULTS["validator"]["hier_16rank"] = {
+        "validations_per_sec": round(repeats / elapsed),
+        "instructions": sum(len(rp) for rp in program.rank_programs),
+    }
+
+
+def test_measured_speedup_on_wan_fabric():
+    results = run_synth(
+        fabrics=("two_region",),
+        sizes=(64 * KB, 16 * MB, 64 * MB),
+        static_iters=2,
+        tune_rounds=20,
+        tail=4,
+    )
+    (result,) = results
+    for point in result.points:
+        _RESULTS["speedup"][f"two_region/{format_size(point.size)}"] = {
+            "speedup": round(point.speedup, 3),
+            "builtin_label": point.builtin_label,
+            "synth_label": point.synth_label,
+            "builtin_us": round(point.builtin_seconds * 1e6, 2),
+            "synth_us": round(point.synth_seconds * 1e6, 2),
+        }
+        assert point.synth_wins
+    tuned = result.tuned
+    _RESULTS["speedup"]["two_region/tuned"] = {
+        # the guard compares higher-is-better: first/tail > 1 means the
+        # tuner's converged strategy beat its starting point
+        "speedup": round(tuned.first / tuned.tail_mean, 3),
+        "algorithm": tuned.algorithm,
+        "retunes": tuned.retunes,
+    }
+    assert tuned.adopted_synth
+    assert tuned.barrier_only and tuned.inconsistent == 0
+
+
+def test_no_metric_regression_vs_committed_baseline():
+    """The in-process twin of the CI compare step (compare_bench.py)."""
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from compare_bench import committed_baseline, compare_throughput
+    finally:
+        sys.path.pop(0)
+
+    baseline = committed_baseline(OUT_PATH)
+    failures = compare_throughput(
+        baseline, _RESULTS, sections=("synthesizer",), metric="programs_per_sec"
+    ) + compare_throughput(
+        baseline, _RESULTS, sections=("speedup",), metric="speedup"
+    )
+    assert not failures, "\n".join(failures)

@@ -29,11 +29,13 @@ from .cost import (
     pair_traffic,
     pipelined_seconds,
     topology_fingerprint,
+    wan_rtt_seconds,
 )
 from .planner import (
     Candidate,
     ScoredCandidate,
     StrategyPlanner,
+    canonical_ring,
 )
 from .table import (
     TABLE_FORMAT_VERSION,
@@ -59,10 +61,12 @@ __all__ = [
     "TuningTable",
     "UcbBandit",
     "bottleneck_seconds",
+    "canonical_ring",
     "estimate_seconds",
     "make_bandit",
     "pair_traffic",
     "pipelined_seconds",
     "size_bucket",
     "topology_fingerprint",
+    "wan_rtt_seconds",
 ]

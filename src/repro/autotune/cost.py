@@ -65,6 +65,25 @@ def topology_fingerprint(cluster: Cluster, gpus: Sequence[GpuDevice]) -> str:
     return key
 
 
+def _synth_program(algorithm: str, kind: Collective, world: int):
+    """The chunk-level program behind ``algorithm``, when it covers
+    (kind, world); ``None`` for built-ins and out-of-scope programs."""
+    from ..core.algorithms import get_algorithm
+    from ..netsim.errors import MccsError
+
+    try:
+        algo = get_algorithm(algorithm)
+    except MccsError:
+        return None
+    program = getattr(algo, "program", None)
+    if program is None:
+        return None
+    supports = getattr(algo, "supports", None)
+    if callable(supports) and not supports(kind, world):
+        return None
+    return program
+
+
 def pair_traffic(
     algorithm: str,
     kind: Collective,
@@ -75,10 +94,16 @@ def pair_traffic(
 
     Mirrors the fallback rules of the registered algorithms: ``tree`` and
     ``halving_doubling`` only specialize AllReduce (the latter only on
-    power-of-two worlds); everything else is the ring.
+    power-of-two worlds); everything else is the ring.  Synthesized
+    chunk-level programs report their own exact per-pair bytes (they
+    ignore the ring order — a program is built against a concrete
+    rank->location mapping).
     """
     order = list(order)
     world = len(order)
+    program = _synth_program(algorithm, kind, world)
+    if program is not None:
+        return program.pair_traffic(out_bytes)
     if algorithm == "tree" and kind is Collective.ALL_REDUCE:
         return double_tree_allreduce_traffic(
             double_binary_trees(order), out_bytes
@@ -110,18 +135,27 @@ def bottleneck_seconds(
 
     Considers per-NIC egress and ingress (bytes split over the channel->NIC
     rotation), per-rack spine uplink/downlink aggregate (``num_spines *
-    fabric_gbps`` per leaf — the oversubscription bottleneck), and the
-    intra-host channel for co-located pairs.
+    fabric_gbps`` per leaf — the oversubscription bottleneck), the
+    intra-host channel for co-located pairs, and — on geo-distributed
+    fabrics — the directed WAN link between each region pair, whose
+    bandwidth is typically the scarcest resource of all.
     """
     spec = cluster.fabric.spec
     nic_bw = gbps(spec.nic_gbps)
     uplink_bw = spec.num_spines * gbps(spec.fabric_gbps)
     local_bw = gBps(spec.local_gBps)
+    region_of_host = getattr(spec, "region_of_host", None)
+    wan_bw = (
+        gbps(spec.wan_gbps)
+        if callable(region_of_host) and getattr(spec, "wan_gbps", 0.0)
+        else None
+    )
 
     nic_out: Dict[str, float] = {}
     nic_in: Dict[str, float] = {}
     rack_out: Dict[int, float] = {}
     rack_in: Dict[int, float] = {}
+    wan: Dict[Tuple[int, int], float] = {}
     local: Dict[int, float] = {}
     for (src_rank, dst_rank), nbytes in traffic.items():
         src, dst = gpus[src_rank], gpus[dst_rank]
@@ -138,12 +172,21 @@ def bottleneck_seconds(
         if src_rack != dst_rack:
             rack_out[src_rack] = rack_out.get(src_rack, 0.0) + nbytes
             rack_in[dst_rack] = rack_in.get(dst_rack, 0.0) + nbytes
+        if wan_bw is not None:
+            src_region = region_of_host(src.host_id)
+            dst_region = region_of_host(dst.host_id)
+            if src_region != dst_region:
+                pair = (src_region, dst_region)
+                wan[pair] = wan.get(pair, 0.0) + nbytes
 
     worst = 0.0
     for load in list(nic_out.values()) + list(nic_in.values()):
         worst = max(worst, load / nic_bw)
     for load in list(rack_out.values()) + list(rack_in.values()):
         worst = max(worst, load / uplink_bw)
+    if wan_bw is not None:
+        for load in wan.values():
+            worst = max(worst, load / wan_bw)
     for load in local.values():
         worst = max(worst, load / local_bw)
     return worst
@@ -162,6 +205,41 @@ def pipelined_seconds(
     )
 
 
+def wan_rtt_seconds(
+    cluster: Cluster,
+    gpus: Sequence[GpuDevice],
+    kind: Collective,
+    *,
+    algorithm: str,
+    steps: int,
+    traffic: PairTraffic,
+) -> float:
+    """RTT-weighted penalty for WAN-crossing pipeline steps.
+
+    The fluid flow model carries capacities, not propagation delays, so
+    the planner accounts for WAN RTT here: each pipeline step containing
+    at least one inter-region transfer pays one ``wan_rtt``.  Chunk-level
+    programs report their exact WAN-crossing step count; for the
+    built-ins (rings, trees, butterflies) every step of a region-crossing
+    schedule synchronizes through the WAN, so all ``steps`` pay.  This is
+    what makes a flat locality ring lose to a two-level hierarchical
+    schedule on a ``multi_region`` fingerprint even at small sizes.
+    """
+    spec = cluster.fabric.spec
+    region_of_host = getattr(spec, "region_of_host", None)
+    wan_rtt = float(getattr(spec, "wan_rtt", 0.0))
+    if not callable(region_of_host) or wan_rtt <= 0.0:
+        return 0.0
+    regions = [region_of_host(gpu.host_id) for gpu in gpus]
+    program = _synth_program(algorithm, kind, len(gpus))
+    if program is not None:
+        return wan_rtt * program.wan_step_count(lambda rank: regions[rank])
+    crossing = any(
+        regions[src] != regions[dst] for (src, dst) in traffic
+    )
+    return wan_rtt * steps if crossing else 0.0
+
+
 def estimate_seconds(
     cluster: Cluster,
     gpus: Sequence[GpuDevice],
@@ -177,12 +255,28 @@ def estimate_seconds(
     """Predicted completion time of one collective under a candidate."""
     from ..core.algorithms import get_algorithm
 
-    steps = get_algorithm(algorithm).steps(kind, len(gpus))
+    algo = get_algorithm(algorithm)
+    steps = algo.steps(kind, len(gpus))
     traffic = pair_traffic(algorithm, kind, ring, out_bytes)
     bottleneck = bottleneck_seconds(cluster, gpus, traffic, channels)
+    per_step = latency.per_step
+    protocol = getattr(algo, "protocol", None)
+    if protocol is not None:
+        # NCCL-style protocol point: LL/LL128 trade wire efficiency
+        # (inflating the bandwidth term) for cheaper per-step syncs.
+        bottleneck /= protocol.bandwidth_efficiency
+        per_step *= protocol.latency_factor
     chunks = max(1, math.ceil(out_bytes / max(1, chunk_bytes)))
     return (
         latency.base
         + latency.datapath
-        + pipelined_seconds(bottleneck, steps, chunks, latency.per_step)
+        + pipelined_seconds(bottleneck, steps, chunks, per_step)
+        + wan_rtt_seconds(
+            cluster,
+            gpus,
+            kind,
+            algorithm=algorithm,
+            steps=steps,
+            traffic=traffic,
+        )
     )

@@ -38,6 +38,25 @@ DEFAULT_CHANNEL_OPTIONS = (1, 2)
 DEFAULT_CHUNK_OPTIONS = (64 * KB, 256 * KB, 1024 * KB)
 
 
+def canonical_ring(order: Sequence[int]) -> Tuple[int, ...]:
+    """Canonical representative of a ring under rotation and reflection.
+
+    A ring order is a *cycle*: rotations produce the identical set of
+    directed edges, and the reflection reverses every edge — which costs
+    the same on duplex symmetric links.  Candidates whose orders share a
+    canonical form are duplicates the planner should score only once.
+    """
+    order = tuple(order)
+    if not order:
+        return order
+
+    def rotated(o: Tuple[int, ...]) -> Tuple[int, ...]:
+        pivot = o.index(min(o))
+        return o[pivot:] + o[:pivot]
+
+    return min(rotated(order), rotated(tuple(reversed(order))))
+
+
 @dataclass(frozen=True)
 class Candidate:
     """One point of the planner's search space."""
@@ -98,19 +117,31 @@ class StrategyPlanner:
     def ring_orders(
         self, gpus: Sequence[GpuDevice]
     ) -> Dict[str, Tuple[int, ...]]:
-        """Named ring orders worth considering for this placement."""
+        """Named ring orders worth considering for this placement.
+
+        Orders that are rotations or reflections of an already-kept one
+        are dropped (see :func:`canonical_ring`): they produce the same
+        (or the edge-reversed) traffic on every link, so scoring them
+        would only duplicate candidates.
+        """
         world = len(gpus)
         orders: Dict[str, Tuple[int, ...]] = {
             "rank_order": tuple(range(world))
         }
+        seen = {canonical_ring(order) for order in orders.values()}
         locality = tuple(locality_ring_order(self.cluster, gpus))
-        if locality not in orders.values():
+        if canonical_ring(locality) not in seen:
             orders["locality"] = locality
         return orders
 
     def algorithms(self, kind: Collective, world: int) -> List[str]:
-        """Registry algorithms that do not just alias the ring here."""
-        from ..core.algorithms import registered_algorithms
+        """Registry algorithms that do not just alias the ring here.
+
+        Synthesized chunk-level programs are excluded: they are offered
+        by :meth:`synth_algorithms` only on an exactly matching topology
+        fingerprint, with their own fixed channel/ring configuration.
+        """
+        from ..core.algorithms import get_algorithm, registered_algorithms
 
         names = ["ring"]
         if kind is Collective.ALL_REDUCE:
@@ -119,12 +150,41 @@ class StrategyPlanner:
                     continue
                 if name == "halving_doubling" and not is_power_of_two(world):
                     continue
+                if getattr(get_algorithm(name), "program", None) is not None:
+                    continue
                 names.append(name)
+        return names
+
+    def synth_algorithms(
+        self, kind: Collective, gpus: Sequence[GpuDevice]
+    ) -> List[str]:
+        """Synthesized programs applicable to this exact placement.
+
+        A program qualifies only if it covers (kind, world) *and* was
+        synthesized for this placement's topology fingerprint — programs
+        registered for other fabrics (or with no fingerprint at all)
+        never leak into the plan.
+        """
+        from ..core.algorithms import get_algorithm, registered_algorithms
+
+        fingerprint = topology_fingerprint(self.cluster, gpus)
+        names: List[str] = []
+        for name in registered_algorithms():
+            algo = get_algorithm(name)
+            if getattr(algo, "program", None) is None:
+                continue
+            if getattr(algo, "fingerprint", None) != fingerprint:
+                continue
+            if not algo.supports(kind, len(gpus)):
+                continue
+            names.append(name)
         return names
 
     def candidates(
         self, kind: Collective, gpus: Sequence[GpuDevice]
     ) -> List[Candidate]:
+        from ..core.algorithms import get_algorithm
+
         out: List[Candidate] = []
         for algorithm in self.algorithms(kind, len(gpus)):
             for channels in self.channel_options:
@@ -139,6 +199,21 @@ class StrategyPlanner:
                                 chunk_bytes=chunk_bytes,
                             )
                         )
+        identity = tuple(range(len(gpus)))
+        for algorithm in self.synth_algorithms(kind, gpus):
+            # A program fixes its own channel assignment and ignores the
+            # ring order; only the chunking dimension is swept.
+            program = get_algorithm(algorithm).program
+            for chunk_bytes in self.chunk_options:
+                out.append(
+                    Candidate(
+                        algorithm=algorithm,
+                        channels=program.channels,
+                        ring=identity,
+                        ring_label="synth",
+                        chunk_bytes=chunk_bytes,
+                    )
+                )
         return out
 
     # ------------------------------------------------------------------

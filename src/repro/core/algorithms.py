@@ -227,6 +227,19 @@ def register_algorithm(algorithm: CollectiveAlgorithm, *, replace: bool = False)
     _REGISTRY[algorithm.name] = algorithm
 
 
+def unregister_algorithm(name: str) -> None:
+    """Remove a registered algorithm (e.g. a retired synthesized program).
+
+    The built-ins are load-bearing for every deployment and cannot be
+    removed.
+    """
+    if name in _BUILTINS:
+        raise MccsError(f"cannot unregister built-in algorithm {name!r}")
+    if name not in _REGISTRY:
+        raise MccsError(f"algorithm {name!r} is not registered")
+    del _REGISTRY[name]
+
+
 def get_algorithm(name: str) -> CollectiveAlgorithm:
     try:
         return _REGISTRY[name]
@@ -244,3 +257,5 @@ def registered_algorithms() -> List[str]:
 register_algorithm(RingAlgorithm())
 register_algorithm(DoubleTreeAlgorithm())
 register_algorithm(HalvingDoublingAlgorithm())
+
+_BUILTINS = frozenset(_REGISTRY)

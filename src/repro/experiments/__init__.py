@@ -19,6 +19,7 @@ from . import (
     fig_crashloop,
     fig_elastic,
     fig_failover,
+    fig_synth,
 )
 from .report import Stat, cdf_points, format_table, geometric_mean, print_table
 from .setups import (
@@ -43,6 +44,7 @@ ALL_FIGURES = {
     "crashloop": fig_crashloop,
     "attribution": fig_attribution,
     "elastic": fig_elastic,
+    "synth": fig_synth,
 }
 
 __all__ = [
@@ -63,6 +65,7 @@ __all__ = [
     "fig_crashloop",
     "fig_elastic",
     "fig_failover",
+    "fig_synth",
     "format_table",
     "geometric_mean",
     "multi_app_setups",

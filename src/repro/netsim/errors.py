@@ -144,3 +144,36 @@ class MembershipChangeError(MccsError):
     membership change already in flight, shrinking below two ranks) and
     delivered to ``on_failed`` when the drain barrier fails terminally.
     """
+
+
+class SynthesisError(MccsError):
+    """Base class for collective-program synthesis errors."""
+
+
+class ProgramValidationError(SynthesisError):
+    """An IR program failed the synthesis validator.
+
+    Concrete subclasses name the invariant that was violated; every one
+    carries the offending program's name so batch synthesis can report
+    which candidate was rejected.
+    """
+
+
+class MalformedProgramError(ProgramValidationError):
+    """Structurally invalid IR: bad ranks, chunks, channels or op shapes."""
+
+
+class UnmatchedTransferError(ProgramValidationError):
+    """A send without its matching receive (or vice versa)."""
+
+
+class MissingChunkError(ProgramValidationError):
+    """An instruction uses a chunk its rank does not hold yet."""
+
+
+class DeadlockError(ProgramValidationError):
+    """The program's dependency graph contains a wait cycle."""
+
+
+class PostconditionError(ProgramValidationError):
+    """The program terminates with the wrong chunk placement for its kind."""

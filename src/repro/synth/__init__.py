@@ -1,0 +1,67 @@
+"""Chunk-level collective IR, validator, compiler and schedule synthesizer.
+
+The paper argues (§3, §5) that a collective *service* can specialize
+algorithms per tenant and topology because it owns the whole execution
+stack.  This package supplies the machinery above the hand-written
+algorithm zoo: SCCL/GC3-style chunk-level programs
+(:mod:`~repro.synth.ir`), a validator proving a program implements its
+collective kind (:mod:`~repro.synth.validate`), a numpy interpreter
+(:mod:`~repro.synth.interp`), a lowering pass onto the flow data plane
+(:mod:`~repro.synth.lowering`), parametric generators
+(:mod:`~repro.synth.generators`) and a bounded topology-aware search
+(:mod:`~repro.synth.search`) whose pareto front feeds the autotuner.
+
+See ``docs/synthesis.md`` for the IR grammar, validator invariants,
+lowering contract and search knobs.
+"""
+
+from .generators import hierarchical_allreduce_program, ring_program
+from .interp import run_program
+from .ir import (
+    Instr,
+    OpKind,
+    Program,
+    Protocol,
+    make_program,
+)
+from .lowering import (
+    SYNTH_PREFIX,
+    SynthAlgorithm,
+    register_program,
+    registered_synth_algorithms,
+    temporarily_registered,
+    unregister_program,
+)
+from .search import (
+    ScoredProgram,
+    Synthesizer,
+    estimate_program_seconds,
+    placement_groups,
+    synthesize_and_register,
+)
+from .validate import is_valid, toposort, validate_program
+
+__all__ = [
+    "SYNTH_PREFIX",
+    "Instr",
+    "OpKind",
+    "Program",
+    "Protocol",
+    "ScoredProgram",
+    "SynthAlgorithm",
+    "Synthesizer",
+    "estimate_program_seconds",
+    "hierarchical_allreduce_program",
+    "is_valid",
+    "make_program",
+    "placement_groups",
+    "register_program",
+    "registered_synth_algorithms",
+    "ring_program",
+    "run_program",
+    "synthesize_and_register",
+    "temporarily_registered",
+    "toposort",
+    "unregister_program",
+    "validate_program",
+]

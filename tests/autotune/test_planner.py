@@ -116,6 +116,52 @@ def test_pipelined_rejects_bad_chunks():
         pipelined_seconds(1.0, steps=4, chunks=0, per_step=0.1)
 
 
+# -- ring canonicalization ------------------------------------------------------
+def test_canonical_ring_collapses_rotations_and_reflections():
+    from repro.autotune import canonical_ring
+
+    base = (0, 3, 1, 2)
+    for rotation in range(4):
+        rotated = base[rotation:] + base[:rotation]
+        assert canonical_ring(rotated) == canonical_ring(base)
+        assert canonical_ring(tuple(reversed(rotated))) == (
+            canonical_ring(base)
+        )
+    # genuinely different cycles stay apart
+    assert canonical_ring((0, 1, 3, 2)) != canonical_ring((0, 1, 2, 3))
+    assert canonical_ring(()) == ()
+
+
+def test_equivalent_ring_orders_are_deduped_before_costing(
+    cluster, gpus, monkeypatch
+):
+    """Satellite fix: a locality order that is merely a rotation or
+    reflection of rank order must not double the candidate space."""
+    import repro.autotune.planner as planner_mod
+
+    def count(locality):
+        monkeypatch.setattr(
+            planner_mod, "locality_ring_order", lambda c, g: locality
+        )
+        planner = StrategyPlanner(cluster)
+        orders = planner.ring_orders(gpus)
+        return orders, len(planner.candidates(Collective.ALL_REDUCE, gpus))
+
+    world = len(gpus)
+    distinct = (0, 2, 4, 6, 1, 3, 5, 7)
+    orders_two, n_two = count(distinct)
+    assert set(orders_two) == {"rank_order", "locality"}
+
+    # a rotation of identity, and its reflection, collapse to rank_order
+    for alias in (
+        tuple(range(3, world)) + tuple(range(3)),
+        tuple(reversed(range(world))),
+    ):
+        orders_one, n_one = count(alias)
+        assert set(orders_one) == {"rank_order"}
+        assert n_one == n_two // 2  # candidate count drops, not just labels
+
+
 # -- planner --------------------------------------------------------------------
 def test_planner_validates_options(cluster):
     with pytest.raises(ValueError):

@@ -1,0 +1,154 @@
+"""Generators + interpreter: byte-exactness against the numpy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.reference import reference_outputs
+from repro.collectives.ring import RingDataPlane, RingSchedule
+from repro.collectives.types import Collective, ReduceOp
+from repro.errors import MalformedProgramError
+from repro.synth import (
+    hierarchical_allreduce_program,
+    ring_program,
+    run_program,
+)
+
+
+@given(
+    kind=st.sampled_from(list(Collective)),
+    world=st.integers(2, 9),
+    elems=st.sampled_from([1, 5, 7, 13, 23]),
+    op=st.sampled_from(list(ReduceOp)),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_ring_program_matches_reference(kind, world, elems, op, seed):
+    rng = np.random.default_rng(seed)
+    root = world - 1
+    size = elems * world if kind is Collective.REDUCE_SCATTER else elems
+    inputs = [
+        rng.integers(1, 4, size=size).astype(np.int64) for _ in range(world)
+    ]
+    program = ring_program(kind, world, root=root)
+    outputs = run_program(program, [a.copy() for a in inputs], op)
+    expected = reference_outputs(
+        kind, [a.copy() for a in inputs], op=op, root=root
+    )
+    for rank in range(world):
+        np.testing.assert_array_equal(outputs[rank].ravel(),
+                                      expected[rank].ravel())
+
+
+def test_ring_program_matches_ring_data_plane_bytes():
+    # identical chunking and schedule => identical float results, not
+    # just allclose: the IR path reproduces RingDataPlane exactly
+    rng = np.random.default_rng(7)
+    world = 5
+    inputs = [rng.standard_normal(23).astype(np.float32) for _ in range(world)]
+    plane = RingDataPlane(RingSchedule(tuple(range(world))))
+    ref = plane.all_reduce([a.copy() for a in inputs])
+    got = run_program(
+        ring_program(Collective.ALL_REDUCE, world),
+        [a.copy() for a in inputs],
+        ReduceOp.SUM,
+    )
+    for a, b in zip(ref, got):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_ring_program_respects_custom_order():
+    rng = np.random.default_rng(11)
+    world = 4
+    order = (2, 0, 3, 1)
+    inputs = [rng.standard_normal(16).astype(np.float64) for _ in range(world)]
+    plane = RingDataPlane(RingSchedule(order))
+    ref = plane.all_reduce([a.copy() for a in inputs])
+    got = run_program(
+        ring_program(Collective.ALL_REDUCE, world, order=order),
+        [a.copy() for a in inputs],
+        ReduceOp.SUM,
+    )
+    for a, b in zip(ref, got):
+        np.testing.assert_array_equal(a, b)
+
+
+@given(
+    g=st.integers(1, 4),
+    m=st.integers(1, 4),
+    elems=st.sampled_from([1, 9, 17, 31]),
+    op=st.sampled_from(list(ReduceOp)),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_hierarchical_allreduce_matches_reference(g, m, elems, op, seed):
+    world = g * m
+    if world < 2:
+        return
+    rng = np.random.default_rng(seed)
+    groups = [list(range(j * m, (j + 1) * m)) for j in range(g)]
+    inputs = [
+        rng.integers(1, 4, size=elems).astype(np.int64) for _ in range(world)
+    ]
+    program = hierarchical_allreduce_program(groups)
+    outputs = run_program(program, [a.copy() for a in inputs], op)
+    expected = reference_outputs(
+        Collective.ALL_REDUCE, [a.copy() for a in inputs], op=op
+    )
+    for rank in range(world):
+        np.testing.assert_array_equal(outputs[rank], expected[rank])
+
+
+def test_hierarchical_step_count_beats_flat_ring():
+    g, m = 2, 4
+    groups = [list(range(j * m, (j + 1) * m)) for j in range(g)]
+    program = hierarchical_allreduce_program(groups)
+    assert program.num_steps == 2 * m + 2 * g - 4  # 8
+    flat = ring_program(Collective.ALL_REDUCE, g * m)
+    assert program.num_steps < flat.num_steps  # 8 < 14
+
+
+def test_hierarchical_halves_wan_bytes_vs_locality_ring():
+    # 2 regions of 4: per directed region pair, the two-level schedule
+    # ships ~S while the best flat ring ships ~2S
+    out = 1 << 20
+    groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+    region = lambda r: r // 4
+
+    def wan_bytes(program):
+        return sum(
+            nbytes
+            for (src, dst), nbytes in program.pair_traffic(out).items()
+            if region(src) != region(dst)
+        )
+
+    hier = hierarchical_allreduce_program(groups)
+    flat = ring_program(Collective.ALL_REDUCE, 8)  # identity = locality
+    assert wan_bytes(hier) == pytest.approx(2 * out, rel=0.01)  # S each way
+    assert wan_bytes(flat) == pytest.approx(2 * 2 * out * 7 / 8, rel=0.01)
+    assert wan_bytes(hier) < 0.6 * wan_bytes(flat)
+
+
+def test_hierarchical_rejects_unequal_groups():
+    with pytest.raises(MalformedProgramError, match="equally sized"):
+        hierarchical_allreduce_program([[0, 1, 2], [3, 4]])
+
+
+def test_hierarchical_rejects_non_partition():
+    with pytest.raises(MalformedProgramError, match="partition"):
+        hierarchical_allreduce_program([[0, 1], [1, 2]])
+
+
+def test_interpreter_rejects_wrong_buffer_count():
+    program = ring_program(Collective.ALL_REDUCE, 4)
+    with pytest.raises(MalformedProgramError, match="4 input buffers"):
+        run_program(program, [np.zeros(4)] * 3, ReduceOp.SUM)
+
+
+def test_interpreter_handles_buffers_smaller_than_chunk_count():
+    # 2 elements over 4 ranks: trailing chunks are empty slices
+    program = ring_program(Collective.ALL_REDUCE, 4)
+    inputs = [np.full(2, float(r + 1)) for r in range(4)]
+    outputs = run_program(program, inputs, ReduceOp.SUM)
+    for out in outputs:
+        np.testing.assert_array_equal(out, np.full(2, 10.0))

@@ -179,7 +179,14 @@ def test_partial_adoption_coexists_with_unmanaged_tenants():
         # managed tenant on the other row, 2 GPUs per rack
         dep = MccsDeployment(cl, ecmp_seed=seed)
         mgr = CentralManager(dep)
-        state = mgr.admit("managed", [cl.hosts[0].gpus[0], cl.hosts[2].gpus[0]])
+        # routing-sensitive assertion: pin the ECMP namespace so the
+        # draws don't depend on the process-global comm counter (i.e. on
+        # how many communicators earlier tests created)
+        state = mgr.admit(
+            "managed",
+            [cl.hosts[0].gpus[0], cl.hosts[2].gpus[0]],
+            datapath_tag="partial-adoption",
+        )
         if managed_uses_ffa:
             mgr.apply_flow_policy("ffa")
         client = dep.connect("managed")

@@ -19,7 +19,10 @@ Guarded files:
   ``event_loop`` and ``scale_curve`` sections;
 * ``BENCH_synth.json`` — synthesizer search throughput
   (``programs_per_sec``) and the measured synthesized-vs-builtin
-  ``speedup`` on the WAN fabric.
+  ``speedup`` on the WAN fabric;
+* ``BENCH_gateway.json`` — service-gateway request throughput and the
+  fleet-scenario wall-clock rate (``requests_per_sec`` in both the
+  ``gateway`` and ``fleet`` sections).
 
 Only keys present in *both* files are compared, so adding or renaming
 benchmark points never trips the guard; a point that got slower does.
@@ -40,6 +43,7 @@ from typing import Dict, List, Sequence, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_netsim.json"
 SYNTH_PATH = REPO_ROOT / "BENCH_synth.json"
+GATEWAY_PATH = REPO_ROOT / "BENCH_gateway.json"
 
 #: Sections of BENCH_netsim.json holding throughput points.
 THROUGHPUT_SECTIONS = ("event_loop", "scale_curve")
@@ -63,6 +67,7 @@ GUARDS = (
     Guard(BENCH_PATH, THROUGHPUT_SECTIONS, "events_per_sec"),
     Guard(SYNTH_PATH, ("synthesizer",), "programs_per_sec"),
     Guard(SYNTH_PATH, ("speedup",), "speedup"),
+    Guard(GATEWAY_PATH, ("gateway", "fleet"), "requests_per_sec"),
 )
 
 

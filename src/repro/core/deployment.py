@@ -130,6 +130,12 @@ class MccsDeployment:
         #: Elastic membership coordinator, armed via
         #: :meth:`enable_elasticity`.
         self.elastic: Optional["ElasticCoordinator"] = None
+        #: Tenant-facing service gateway; installed by
+        #: ``repro.service.gateway.ServiceGateway(deployment, ...)``.
+        self.gateway = None
+        #: Live tenant registry (installed by ``TenantRegistry``; the
+        #: journal's live-state snapshot reads tenant tables through it).
+        self.tenant_registry = None
         self._telemetry.set_resilience_provider(self.resilience_stats)
 
     # ------------------------------------------------------------------

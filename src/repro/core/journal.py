@@ -21,6 +21,9 @@ Record schema (``op`` -> payload keys):
 ``collective_issued``   app, comm_id, seq, kind, bytes [, trace]
 ``membership_change``   app, comm_id, epoch, kind, gpus, left, joined
 ``destroy_communicator`` app, comm_id
+``tenant_register``     tenant, key_hash, quota
+``tenant_update``       tenant, key_hash, quota  (full-state replacement)
+``tenant_revoke``       tenant
 ``service_crash``       host, generation   (informational)
 ``service_restart``     host, generation, replayed  (informational)
 ``service_upgrade``     host, component, generation  (informational)
@@ -53,6 +56,9 @@ _STATE_OPS = {
     "collective_issued",
     "membership_change",
     "destroy_communicator",
+    "tenant_register",
+    "tenant_update",
+    "tenant_revoke",
 }
 _INFO_OPS = {"service_crash", "service_restart", "service_upgrade"}
 
@@ -190,6 +196,20 @@ class StateJournal:
         for rec in self._records:
             if rec.op == "collective_issued":
                 latest_issue[rec.payload["comm_id"]] = rec.seq
+        # Tenant records: a tenant may be revoked and later re-registered,
+        # so only the records after its last revoke matter — and of those,
+        # only the register plus the latest full-state update.
+        last_revoke: Dict[object, int] = {}
+        for rec in self._records:
+            if rec.op == "tenant_revoke":
+                last_revoke[rec.payload["tenant"]] = rec.seq
+        latest_tenant_update: Dict[object, int] = {}
+        for rec in self._records:
+            if rec.op == "tenant_update" and rec.seq > last_revoke.get(
+                rec.payload["tenant"], -1
+            ):
+                latest_tenant_update[rec.payload["tenant"]] = rec.seq
+        live_tenants = set(state.tenants)
 
         def keep(rec: JournalRecord) -> bool:
             if rec.op in ("alloc", "free"):
@@ -206,6 +226,19 @@ class StateJournal:
                 if comm_id in destroyed:
                     return False
                 return latest_issue.get(comm_id) == rec.seq
+            if rec.op == "tenant_register":
+                tenant = rec.payload["tenant"]
+                return tenant in live_tenants and rec.seq > last_revoke.get(
+                    tenant, -1
+                )
+            if rec.op == "tenant_update":
+                tenant = rec.payload["tenant"]
+                return (
+                    tenant in live_tenants
+                    and latest_tenant_update.get(tenant) == rec.seq
+                )
+            if rec.op == "tenant_revoke":
+                return False
             return rec.op in _INFO_OPS
 
         kept = [rec for rec in self._records if keep(rec)]
@@ -239,6 +272,8 @@ class ControlPlaneState:
     buffers: Dict[int, Dict[str, object]] = field(default_factory=dict)
     #: comm_id -> {app, gpus, version, epoch, next_seq, strategies}
     communicators: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: tenant_id -> {key_hash, quota} (live gateway accounts)
+    tenants: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def diff(self, other: "ControlPlaneState") -> List[str]:
         """Human-readable mismatches (empty when states are equal)."""
@@ -256,6 +291,13 @@ class ControlPlaneState:
                 f"communicators differ: only-left={sorted(mine - theirs)} "
                 f"only-right={sorted(theirs - mine)} "
                 f"changed={[c for c in mine & theirs if self.communicators[c] != other.communicators[c]]}"
+            )
+        if self.tenants != other.tenants:
+            mine, theirs = set(self.tenants), set(other.tenants)
+            lines.append(
+                f"tenant tables differ: only-left={sorted(mine - theirs)} "
+                f"only-right={sorted(theirs - mine)} "
+                f"changed={[t for t in mine & theirs if self.tenants[t] != other.tenants[t]]}"
             )
         return lines
 
@@ -324,6 +366,33 @@ def replay_journal(records: List[JournalRecord]) -> ControlPlaneState:
                     f"journal destroys unknown comm {p['comm_id']}"
                 )
             del state.communicators[p["comm_id"]]
+        elif rec.op == "tenant_register":
+            tenant = str(p["tenant"])
+            if tenant in state.tenants:
+                raise JournalError(
+                    f"journal registers already-live tenant {tenant!r}"
+                )
+            state.tenants[tenant] = {
+                "key_hash": p["key_hash"],
+                "quota": dict(p["quota"]),
+            }
+        elif rec.op == "tenant_update":
+            tenant = str(p["tenant"])
+            if tenant not in state.tenants:
+                raise JournalError(
+                    f"journal updates unknown tenant {tenant!r}"
+                )
+            state.tenants[tenant] = {
+                "key_hash": p["key_hash"],
+                "quota": dict(p["quota"]),
+            }
+        elif rec.op == "tenant_revoke":
+            tenant = str(p["tenant"])
+            if tenant not in state.tenants:
+                raise JournalError(
+                    f"journal revokes unknown tenant {tenant!r}"
+                )
+            del state.tenants[tenant]
         # informational ops replay to nothing
     return state
 
@@ -353,4 +422,12 @@ def snapshot_deployment(deployment: "MccsDeployment") -> ControlPlaneState:
                 for version, strategy in comm.strategy_history.items()
             },
         }
+    gateway = getattr(deployment, "gateway", None)
+    registry = (
+        gateway.registry
+        if gateway is not None
+        else getattr(deployment, "tenant_registry", None)
+    )
+    if registry is not None:
+        state.tenants = registry.snapshot()
     return state

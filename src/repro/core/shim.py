@@ -330,6 +330,34 @@ class MccsClient:
         self.communicators[comm_id] = comm
         return comm
 
+    def adopt_buffer(self, buffer_id: int) -> MccsBuffer:
+        """Client-side handle for a buffer this application already owns
+        service-side (e.g. re-attached after a front-end restart).  The
+        allocation is validated against the owning service and the IPC
+        handle is re-opened, so views see the live device memory."""
+        for service in self.deployment.services.values():
+            alloc = service.memory.allocations().get(buffer_id)
+            if alloc is None:
+                continue
+            if alloc.app_id != self.app_id:
+                raise MccsError(
+                    f"buffer {buffer_id} belongs to {alloc.app_id!r}"
+                )
+            gpu = alloc.buffer.device
+            host = self.cluster.hosts[gpu.host_id]
+            device_buffer = host.ipc.open_memory(alloc.handle)
+            buf = MccsBuffer(
+                client=self,
+                gpu=gpu,
+                buffer_id=buffer_id,
+                size=alloc.buffer.size,
+                handle=alloc.handle,
+                device_buffer=device_buffer,
+            )
+            self.buffers[buffer_id] = buf
+            return buf
+        raise MccsError(f"no live allocation for buffer {buffer_id}")
+
     def destroy_communicator(self, comm: MccsCommunicator) -> None:
         self._count_call("destroy_communicator")
         self._queue_for(comm.gpus[0]).call(

@@ -19,6 +19,7 @@ from . import (
     fig_crashloop,
     fig_elastic,
     fig_failover,
+    fig_fleet,
     fig_synth,
 )
 from .report import Stat, cdf_points, format_table, geometric_mean, print_table
@@ -45,6 +46,7 @@ ALL_FIGURES = {
     "attribution": fig_attribution,
     "elastic": fig_elastic,
     "synth": fig_synth,
+    "fleet": fig_fleet,
 }
 
 __all__ = [
@@ -65,6 +67,7 @@ __all__ = [
     "fig_crashloop",
     "fig_elastic",
     "fig_failover",
+    "fig_fleet",
     "fig_synth",
     "format_table",
     "geometric_mean",

@@ -9,7 +9,7 @@ launches hitting a dead proxy, missed heartbeats, blown deadlines.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..netsim.errors import HostCrashedError, NicFailedError
 from .plan import FaultEvent, FaultKind, FaultPlan
@@ -49,6 +49,11 @@ class FaultInjector:
         self._saved_caps: Dict[str, float] = {}
         # Links a NIC failure took down, so NIC_RECOVER restores exactly those.
         self._nic_links: Dict[Tuple[int, int], List[str]] = {}
+        #: Tenant-storm hooks, wired by whatever drives tenant traffic
+        #: (``FleetLoadGenerator.bind_injector``).  Storm receives
+        #: ``(app_id, factor)``; calm receives ``(app_id,)``.
+        self.on_tenant_storm: Optional[Callable[[str, float], None]] = None
+        self.on_tenant_calm: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     def schedule(self, plan: FaultPlan) -> None:
@@ -79,6 +84,10 @@ class FaultInjector:
             ),
             FaultKind.RANK_LEAVE: lambda: self.rank_leave(event.comm_id),
             FaultKind.RANK_JOIN: lambda: self.rank_join(event.comm_id),
+            FaultKind.TENANT_STORM: lambda: self.tenant_storm(
+                event.app_id, event.factor
+            ),
+            FaultKind.TENANT_CALM: lambda: self.tenant_calm(event.app_id),
         }[event.kind]
         handler()
         self.injected.append((self.sim.now, event))
@@ -216,3 +225,17 @@ class FaultInjector:
         if elastic is None:
             return
         elastic.chaos_grow(comm_id)
+
+    # ------------------------------------------------------------------
+    # tenant storms
+    # ------------------------------------------------------------------
+    def tenant_storm(self, app_id: str, factor: float) -> None:
+        """One tenant's request rate spikes by ``factor``.  A documented
+        no-op until a load generator wires :attr:`on_tenant_storm`."""
+        if self.on_tenant_storm is not None:
+            self.on_tenant_storm(app_id, factor)
+
+    def tenant_calm(self, app_id: str) -> None:
+        """The storming tenant returns to its normal rate."""
+        if self.on_tenant_calm is not None:
+            self.on_tenant_calm(app_id)

@@ -40,6 +40,11 @@ class FaultKind(str, Enum):
     RANK_LEAVE = "rank_leave"
     #: A new rank joins a communicator (elastic grow).
     RANK_JOIN = "rank_join"
+    #: One tenant's request rate spikes by ``factor`` (a runaway app
+    #: hammering the service gateway).
+    TENANT_STORM = "tenant_storm"
+    #: The storming tenant returns to its normal rate.
+    TENANT_CALM = "tenant_calm"
 
 
 #: Kinds that target a link id.
@@ -56,6 +61,8 @@ _NIC_KINDS = {FaultKind.NIC_FAIL, FaultKind.NIC_RECOVER}
 _SERVICE_KINDS = {FaultKind.SERVICE_CRASH, FaultKind.ENGINE_RESTART}
 #: Kinds that target a communicator's membership (elastic churn).
 _MEMBERSHIP_KINDS = {FaultKind.RANK_LEAVE, FaultKind.RANK_JOIN}
+#: Kinds that target one tenant application's traffic.
+_TENANT_KINDS = {FaultKind.TENANT_STORM, FaultKind.TENANT_CALM}
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,8 @@ class FaultEvent:
         comm_id: Target communicator for the membership kinds
             (``RANK_LEAVE`` / ``RANK_JOIN``); ``None`` lets the injector
             pick one deterministically at fire time.
+        app_id: Target tenant for the tenant kinds (``TENANT_STORM`` /
+            ``TENANT_CALM``); ``factor`` is the storm's rate multiplier.
     """
 
     time: float
@@ -83,6 +92,7 @@ class FaultEvent:
     nic_index: Optional[int] = None
     factor: float = 1.0
     comm_id: Optional[int] = None
+    app_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -101,6 +111,10 @@ class FaultEvent:
             raise ValueError("degrade factor must be in (0, 1)")
         if self.kind is FaultKind.BANDWIDTH_DRIFT and self.factor <= 0.0:
             raise ValueError("drift factor must be positive")
+        if self.kind in _TENANT_KINDS and self.app_id is None:
+            raise ValueError(f"{self.kind.value} needs an app_id")
+        if self.kind is FaultKind.TENANT_STORM and self.factor <= 1.0:
+            raise ValueError("storm factor must exceed 1")
 
     def describe(self) -> str:
         if self.kind in _LINK_KINDS:
@@ -109,11 +123,18 @@ class FaultEvent:
             target = f"h{self.host_id}.nic{self.nic_index}"
         elif self.kind in _MEMBERSHIP_KINDS:
             target = "comm*" if self.comm_id is None else f"comm{self.comm_id}"
+        elif self.kind in _TENANT_KINDS:
+            target = str(self.app_id)
         else:
             target = f"h{self.host_id}"
         extra = (
             f" x{self.factor:g}"
-            if self.kind in (FaultKind.LINK_DEGRADE, FaultKind.BANDWIDTH_DRIFT)
+            if self.kind
+            in (
+                FaultKind.LINK_DEGRADE,
+                FaultKind.BANDWIDTH_DRIFT,
+                FaultKind.TENANT_STORM,
+            )
             else ""
         )
         return f"t={self.time:g}s {self.kind.value} {target}{extra}"
@@ -264,6 +285,31 @@ class FaultPlan:
             FaultEvent(time, FaultKind.RANK_JOIN, comm_id=comm_id)
         )
 
+    def tenant_storm(
+        self,
+        time: float,
+        app_id: str,
+        *,
+        factor: float = 50.0,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Spike ``app_id``'s request rate by ``factor`` at ``time``.
+
+        Storms are always transient: a paired ``TENANT_CALM`` restores
+        the tenant's normal rate after ``duration`` (default 0.5 s).
+        """
+        if duration is None:
+            duration = 0.5
+        self.add(
+            FaultEvent(
+                time, FaultKind.TENANT_STORM, app_id=app_id, factor=factor
+            )
+        )
+        self.add(
+            FaultEvent(time + duration, FaultKind.TENANT_CALM, app_id=app_id)
+        )
+        return self
+
     def describe(self) -> List[str]:
         return [event.describe() for event in self.events]
 
@@ -282,6 +328,7 @@ class FaultPlan:
         FaultKind.HOST_CRASH: 1,
         FaultKind.RANK_LEAVE: 1,
         FaultKind.RANK_JOIN: 1,
+        FaultKind.TENANT_STORM: 2,
     }
 
     @classmethod
@@ -303,6 +350,7 @@ class FaultPlan:
         ),
         link_candidates: Optional[Sequence[str]] = None,
         host_candidates: Optional[Sequence[int]] = None,
+        tenant_candidates: Optional[Sequence[str]] = None,
         transient_fraction: float = 0.5,
         version: int = 2,
     ) -> "FaultPlan":
@@ -318,13 +366,17 @@ class FaultPlan:
         ``version`` selects the kind-draw scheme: ``2`` (default) weighs
         kinds by :attr:`DEFAULT_KIND_WEIGHTS`; ``1`` reproduces the
         historical uniform draw exactly, so chaos seeds recorded against
-        older releases replay unchanged.
+        older releases replay unchanged.  ``3`` additionally draws
+        ``TENANT_STORM`` events (always transient — a paired
+        ``TENANT_CALM`` follows) when ``tenant_candidates`` names the
+        tenants that may storm; with no candidates it is draw-for-draw
+        identical to ``2``.
         """
         if rng is None:
             rng = random.Random(seed)
         if num_faults < 0:
             raise ValueError("num_faults must be non-negative")
-        if version not in (1, 2):
+        if version not in (1, 2, 3):
             raise ValueError(f"unknown fault-plan version {version!r}")
         if link_candidates is None:
             link_candidates = sorted(
@@ -337,6 +389,12 @@ class FaultPlan:
         plan = cls()
         crashed: set = set()
         kinds_list = list(kinds)
+        if (
+            version >= 3
+            and tenant_candidates
+            and FaultKind.TENANT_STORM not in kinds_list
+        ):
+            kinds_list = kinds_list + [FaultKind.TENANT_STORM]
         weights = [cls.DEFAULT_KIND_WEIGHTS.get(k, 1) for k in kinds_list]
         for _ in range(num_faults):
             if version == 1:
@@ -385,6 +443,21 @@ class FaultPlan:
                 plan.rank_leave(time)
             elif kind is FaultKind.RANK_JOIN:
                 plan.rank_join(time)
+            elif kind is FaultKind.TENANT_STORM and tenant_candidates:
+                # Storms are always transient; ``duration`` doubles as the
+                # storm length when the transient coin came up, else a
+                # fresh bounded draw keeps the calm inside the horizon.
+                storm_for = (
+                    duration
+                    if duration is not None
+                    else rng.uniform(0.1, max(horizon - time, 0.2))
+                )
+                plan.tenant_storm(
+                    time,
+                    rng.choice(list(tenant_candidates)),
+                    factor=50.0,
+                    duration=storm_for,
+                )
         return plan
 
 

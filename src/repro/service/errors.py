@@ -1,0 +1,91 @@
+"""Typed errors of the tenant-facing service gateway.
+
+Every rejection the gateway can hand a tenant is a *decision* with a
+dedicated exception class and an HTTP-ish status code, mirroring how a
+REST front door would answer.  All of them derive from
+:class:`~repro.netsim.errors.MccsError` (the service-side branch of the
+repro exception tree) and are re-exported from :mod:`repro.errors`, which
+the hygiene test in ``tests/test_errors_exports.py`` enforces.
+
+The split between 4xx and 5xx matters for the circuit breakers: client
+mistakes (bad key, bad route, malformed body, over-quota) never count
+against a tenant's breaker, while 5xx outcomes (infrastructure failures
+surfaced mid-dispatch) do.
+"""
+
+from __future__ import annotations
+
+from ..netsim.errors import MccsError
+
+
+class GatewayError(MccsError):
+    """Base class for service-gateway errors.
+
+    :attr:`status` carries the REST-shaped status code the in-process
+    transport returns with the response.
+    """
+
+    status = 500
+
+
+class AuthenticationError(GatewayError):
+    """The request carried no API key, an unknown key, or a revoked one."""
+
+    status = 401
+
+
+class UnknownRouteError(GatewayError):
+    """No handler is registered for the requested (method, path)."""
+
+    status = 404
+
+
+class InvalidRequestError(GatewayError):
+    """The request body failed validation before reaching the control
+    plane (missing fields, unknown communicator handle, bad sizes)."""
+
+    status = 400
+
+
+class RateLimitedError(GatewayError):
+    """The tenant's token bucket is empty (sustained rate above quota).
+
+    Carries ``retry_after`` — the earliest time (seconds from now) at
+    which the bucket will hold a token again — so well-behaved tenants
+    can pace themselves instead of hammering the door.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BackpressureError(GatewayError):
+    """The tenant's QoS class queue (or the tenant's own queued-request
+    allowance) is full: explicit backpressure, shed at the door."""
+
+    status = 503
+
+
+class CircuitOpenError(GatewayError):
+    """The tenant's circuit breaker is open after repeated failures;
+    requests are rejected without touching the control plane until a
+    half-open probe succeeds."""
+
+    status = 503
+
+
+class BrownoutShedError(GatewayError):
+    """Deployment-wide load crossed a brownout watermark and this
+    request's QoS class is being shed in priority order."""
+
+    status = 503
+
+
+class GatewayTimeoutError(GatewayError):
+    """The request's deadline expired while it was still queued or
+    between dispatch retries; it was never executed."""
+
+    status = 504

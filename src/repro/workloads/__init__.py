@@ -1,6 +1,6 @@
 """Workload synthesis: model profiles, traces, generators, arrivals."""
 
-from .arrivals import JobSpec, poisson_arrivals
+from .arrivals import DiurnalProfile, JobSpec, diurnal_arrivals, poisson_arrivals
 from .generator import (
     CollectiveIssuer,
     GeneratorStats,
@@ -28,6 +28,7 @@ from .traces import (
 
 __all__ = [
     "CollectiveIssuer",
+    "DiurnalProfile",
     "GeneratorStats",
     "JobSpec",
     "MccsIssuer",
@@ -38,6 +39,7 @@ __all__ = [
     "TrainingBreakdown",
     "TrainingTrace",
     "data_parallel_trace",
+    "diurnal_arrivals",
     "geo_distributed_trace",
     "empirical_cross_rack_curve",
     "gpt_2_7b",

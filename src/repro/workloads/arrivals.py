@@ -4,13 +4,20 @@
 200ms" — i.e. exponential inter-arrival gaps with a 200 ms mean.  Job
 sizes are "either 16 or 32 GPUs with equal probability", 50 jobs per
 experiment.
+
+The fleet experiments additionally modulate the Poisson process with a
+:class:`DiurnalProfile` — a sinusoidal daily cycle plus Gaussian burst
+envelopes — via :func:`diurnal_arrivals`, an exact Lewis-Shedler
+thinning sampler: deterministic per seed, which the property tests in
+``tests/workloads/test_arrivals.py`` pin down.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -55,4 +62,112 @@ def poisson_arrivals(
         now += rng.expovariate(1.0 / mean_interarrival)
         size = rng.choices(list(sizes), weights=size_weights)[0]
         jobs.append(JobSpec(job_id=f"{prefix}{i}", num_gpus=size, arrival_time=now))
+    return jobs
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A time-varying rate multiplier: daily sinusoid + burst envelopes.
+
+    The instantaneous factor is::
+
+        factor(t) = max(floor, 1 + amplitude * sin(2*pi*(t - phase)/period)
+                               + sum_i boost_i * exp(-((t - center_i)/width_i)**2 / 2))
+
+    so a base Poisson rate ``lambda`` becomes the inhomogeneous rate
+    ``lambda * factor(t)``.  ``peak_factor`` bounds the factor from
+    above, which both the thinning sampler and the capacity planner use.
+
+    Attributes:
+        period: Length of one cycle in seconds (a scaled "day").
+        amplitude: Sinusoid amplitude (0 = flat); must stay below 1 so
+            the un-floored factor is positive.
+        phase: Time of the sinusoid's zero upcrossing.
+        bursts: ``(center, width, boost)`` Gaussian envelopes layered on
+            top (flash crowds, shard failovers).
+        floor: Lower clamp of the factor (quiet-hours traffic never
+            drops to zero).
+    """
+
+    period: float = 60.0
+    amplitude: float = 0.5
+    phase: float = 0.0
+    bursts: Tuple[Tuple[float, float, float], ...] = ()
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("diurnal period must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.floor < 0:
+            raise ValueError("floor cannot be negative")
+        for center, width, boost in self.bursts:
+            if width <= 0 or boost < 0:
+                raise ValueError(
+                    f"burst ({center}, {width}, {boost}) needs width > 0 "
+                    "and boost >= 0"
+                )
+
+    def rate_factor(self, t: float) -> float:
+        """Instantaneous rate multiplier at time ``t``."""
+        factor = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase) / self.period
+        )
+        for center, width, boost in self.bursts:
+            z = (t - center) / width
+            factor += boost * math.exp(-0.5 * z * z)
+        return max(self.floor, factor)
+
+    @property
+    def peak_factor(self) -> float:
+        """Upper bound of :meth:`rate_factor` (sinusoid crest + all
+        burst peaks; exact when bursts overlap, conservative otherwise)."""
+        return max(
+            self.floor,
+            1.0 + self.amplitude + sum(boost for _, _, boost in self.bursts),
+        )
+
+
+def diurnal_arrivals(
+    num_jobs: int,
+    *,
+    mean_interarrival: float = 0.200,
+    profile: Optional[DiurnalProfile] = None,
+    sizes: Sequence[int] = (16, 32),
+    size_weights: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    prefix: str = "job",
+) -> List[JobSpec]:
+    """Poisson arrivals modulated by a :class:`DiurnalProfile`.
+
+    Uses Lewis-Shedler thinning: candidates are drawn from a homogeneous
+    Poisson process at the profile's peak rate and accepted with
+    probability ``rate_factor(t) / peak_factor`` — an *exact* sampler
+    for the inhomogeneous process, fully determined by the seed (the
+    property tests assert both determinism and that a flat profile
+    degenerates to :func:`poisson_arrivals` statistics).
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if rng is None:
+        rng = random.Random(seed)
+    if profile is None:
+        profile = DiurnalProfile()
+    base_rate = 1.0 / mean_interarrival
+    peak = profile.peak_factor
+    now = 0.0
+    jobs: List[JobSpec] = []
+    while len(jobs) < num_jobs:
+        now += rng.expovariate(base_rate * peak)
+        if rng.random() * peak <= profile.rate_factor(now):
+            size = rng.choices(list(sizes), weights=size_weights)[0]
+            jobs.append(
+                JobSpec(
+                    job_id=f"{prefix}{len(jobs)}",
+                    num_gpus=size,
+                    arrival_time=now,
+                )
+            )
     return jobs

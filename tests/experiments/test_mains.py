@@ -39,7 +39,7 @@ def test_all_figures_registry_complete():
     assert set(ALL_FIGURES) == {
         "fig02", "fig03", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
         "failover", "autotune", "crashloop", "attribution", "elastic",
-        "synth",
+        "synth", "fleet",
     }
     for module in ALL_FIGURES.values():
         assert hasattr(module, "main")

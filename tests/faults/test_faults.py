@@ -326,7 +326,7 @@ def test_drift_injection_restores_original_capacity():
 def test_random_plan_version_guard():
     cluster = testbed_cluster()
     with pytest.raises(ValueError, match="version"):
-        FaultPlan.random(cluster, seed=1, version=3)
+        FaultPlan.random(cluster, seed=1, version=4)
     # version=1 reproduces the historical uniform draw: byte-stable
     # across calls and unaffected by the weighted default scheme.
     v1a = FaultPlan.random(cluster, seed=11, num_faults=5, version=1)
@@ -356,3 +356,90 @@ def test_random_plan_draws_new_kinds_under_weights():
     assert FaultKind.BANDWIDTH_DRIFT in kinds
     assert FaultKind.RANK_LEAVE in kinds
     assert FaultKind.RANK_JOIN in kinds
+
+
+# ----------------------------------------------------------------------
+# tenant storms (version=3)
+# ----------------------------------------------------------------------
+def test_tenant_storm_event_validation():
+    with pytest.raises(ValueError, match="app_id"):
+        FaultEvent(0.0, FaultKind.TENANT_STORM, factor=50.0)
+    with pytest.raises(ValueError, match="exceed 1"):
+        FaultEvent(0.0, FaultKind.TENANT_STORM, app_id="t0", factor=1.0)
+    event = FaultEvent(0.0, FaultKind.TENANT_STORM, app_id="t0", factor=50.0)
+    assert "t0" in event.describe() and "x50" in event.describe()
+
+
+def test_tenant_storm_builder_always_pairs_calm():
+    plan = FaultPlan().tenant_storm(0.5, "tenant-3", factor=10.0, duration=0.25)
+    kinds = [e.kind for e in plan.events]
+    assert kinds == [FaultKind.TENANT_STORM, FaultKind.TENANT_CALM]
+    storm, calm = plan.events
+    assert storm.app_id == calm.app_id == "tenant-3"
+    assert calm.time == pytest.approx(storm.time + 0.25)
+
+
+def test_random_plan_v3_draws_tenant_storms():
+    cluster = testbed_cluster()
+    tenants = [f"tenant-{i}" for i in range(8)]
+    seen = set()
+    for seed in range(30):
+        plan = FaultPlan.random(
+            cluster,
+            seed=seed,
+            num_faults=4,
+            tenant_candidates=tenants,
+            version=3,
+        )
+        seen.update(e.kind for e in plan.events)
+        for event in plan.events:
+            if event.kind is FaultKind.TENANT_STORM:
+                # storms are always transient: a calm for the same tenant
+                # follows within the plan
+                assert any(
+                    e.kind is FaultKind.TENANT_CALM
+                    and e.app_id == event.app_id
+                    and e.time > event.time
+                    for e in plan.events
+                )
+    assert FaultKind.TENANT_STORM in seen
+
+
+def test_random_plan_v1_v2_replays_unchanged_by_v3():
+    """Adding version=3 must not disturb seeds recorded against v1/v2."""
+    cluster = testbed_cluster()
+    for version in (1, 2):
+        a = FaultPlan.random(cluster, seed=23, num_faults=6, version=version)
+        b = FaultPlan.random(cluster, seed=23, num_faults=6, version=version)
+        assert a.describe() == b.describe()
+        assert all(e.kind is not FaultKind.TENANT_STORM for e in a.events)
+    # v3 without tenant candidates is draw-for-draw identical to v2
+    v2 = FaultPlan.random(cluster, seed=23, num_faults=6, version=2)
+    v3 = FaultPlan.random(cluster, seed=23, num_faults=6, version=3)
+    assert v2.describe() == v3.describe()
+
+
+def test_injector_routes_tenant_storm_to_callbacks():
+    cluster = testbed_cluster()
+    injector = FaultInjector(cluster)
+    calls = []
+    injector.on_tenant_storm = lambda app, factor: calls.append(("storm", app, factor))
+    injector.on_tenant_calm = lambda app: calls.append(("calm", app))
+    plan = FaultPlan().tenant_storm(0.1, "tenant-0", factor=50.0, duration=0.2)
+    injector.schedule(plan)
+    cluster.sim.run()
+    assert calls == [("storm", "tenant-0", 50.0), ("calm", "tenant-0")]
+    assert [e.kind for _, e in injector.injected] == [
+        FaultKind.TENANT_STORM,
+        FaultKind.TENANT_CALM,
+    ]
+
+
+def test_injector_tenant_storm_without_hooks_is_noop():
+    cluster = testbed_cluster()
+    injector = FaultInjector(cluster)
+    injector.apply(
+        FaultEvent(0.0, FaultKind.TENANT_STORM, app_id="tenant-0", factor=2.0)
+    )
+    injector.apply(FaultEvent(0.0, FaultKind.TENANT_CALM, app_id="tenant-0"))
+    assert len(injector.injected) == 2

@@ -1,0 +1,100 @@
+"""Tenant registry: accounts, API keys, quotas, and journal durability."""
+
+import pytest
+
+from repro.core.deployment import MccsDeployment
+from repro.errors import PolicyError
+from repro.service import TenantQuota, TenantRegistry
+from repro.service.errors import AuthenticationError
+
+
+@pytest.fixture
+def registry(deployment):
+    return TenantRegistry(deployment, secret="test-secret")
+
+
+def test_register_and_authenticate(registry):
+    account = registry.register("acme", TenantQuota(qos_class="high"))
+    assert registry.authenticate(account.key.raw) is account
+    assert account.quota.qos_class == "high"
+    assert len(registry) == 1
+
+
+def test_authenticate_rejects_unknown_and_missing_keys(registry):
+    registry.register("acme")
+    with pytest.raises(AuthenticationError):
+        registry.authenticate("mk_acme_0000000000000000dead")
+    with pytest.raises(AuthenticationError):
+        registry.authenticate(None)
+
+
+def test_duplicate_registration_rejected(registry):
+    registry.register("acme")
+    with pytest.raises(PolicyError):
+        registry.register("acme")
+
+
+def test_rotate_key_invalidates_old_key(registry):
+    account = registry.register("acme")
+    old = account.key.raw
+    new = registry.rotate_key("acme").raw
+    assert new != old
+    assert registry.authenticate(new).tenant_id == "acme"
+    with pytest.raises(AuthenticationError):
+        registry.authenticate(old)
+
+
+def test_revoke_closes_the_account(registry):
+    account = registry.register("acme")
+    registry.revoke("acme")
+    assert len(registry) == 0
+    with pytest.raises(AuthenticationError):
+        registry.authenticate(account.key.raw)
+
+
+def test_set_quota_updates_and_journals(registry, deployment):
+    registry.register("acme")
+    registry.set_quota("acme", TenantQuota(qos_class="low", rate=5.0, burst=2.0))
+    assert registry.account("acme").quota.rate == 5.0
+    assert deployment.verify_journal() == []
+
+
+def test_unknown_tenant_raises(registry):
+    with pytest.raises(PolicyError):
+        registry.account("nobody")
+
+
+def test_restore_rebuilds_accounts_and_keys(registry, deployment):
+    a = registry.register("acme", TenantQuota(qos_class="high", rate=7.0))
+    registry.register("globex")
+    registry.rotate_key("globex")
+    restored = TenantRegistry.restore(deployment, secret="test-secret")
+    assert len(restored) == 2
+    assert restored.authenticate(a.key.raw).tenant_id == "acme"
+    # The rotated key (generation 1) must be re-derived, not the original.
+    rotated = registry.account("globex").key.raw
+    assert restored.authenticate(rotated).tenant_id == "globex"
+    assert restored.account("acme").quota.rate == 7.0
+
+
+def test_journal_replays_to_live_state(registry, deployment):
+    registry.register("acme")
+    registry.register("globex", TenantQuota(qos_class="low"))
+    registry.revoke("acme")
+    registry.set_quota("globex", TenantQuota(qos_class="low", rate=3.0, burst=1.0))
+    assert deployment.verify_journal() == []
+
+
+def test_compaction_preserves_revoke_then_reregister(registry, deployment):
+    registry.register("acme")
+    registry.revoke("acme")
+    registry.register("acme", TenantQuota(qos_class="high"))
+    registry.register("globex")
+    registry.revoke("globex")
+    deployment.journal.compact()
+    assert deployment.verify_journal() == []
+    restored = TenantRegistry.restore(deployment, secret="test-secret")
+    assert len(restored) == 1
+    assert restored.account("acme").quota.qos_class == "high"
+    with pytest.raises(PolicyError):
+        restored.account("globex")

@@ -1,0 +1,69 @@
+"""Hygiene: every typed error is re-exported from ``repro.errors``.
+
+Applications are promised that ``except repro.errors.ReproError`` (or a
+specific subclass imported from ``repro.errors``) covers everything the
+package throws.  This test walks the AST of the defining modules so a
+newly added error class that is not re-exported fails CI immediately.
+"""
+
+import ast
+import pathlib
+
+import repro.errors as errors_module
+
+SRC = pathlib.Path(errors_module.__file__).resolve().parent
+DEFINING_MODULES = (
+    SRC / "netsim" / "errors.py",
+    SRC / "service" / "errors.py",
+)
+
+
+def _defined_error_classes(path):
+    tree = ast.parse(path.read_text())
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _declared_all():
+    tree = ast.parse(pathlib.Path(errors_module.__file__).read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            return [ast.literal_eval(elt) for elt in node.value.elts]
+    raise AssertionError("repro.errors has no literal __all__")
+
+
+def test_every_defined_error_is_reexported():
+    for path in DEFINING_MODULES:
+        defined = _defined_error_classes(path)
+        assert defined, f"no error classes found in {path}"
+        missing = {
+            name for name in defined
+            if not hasattr(errors_module, name) or name not in errors_module.__all__
+        }
+        assert not missing, (
+            f"error classes in {path.name} missing from repro.errors / "
+            f"__all__: {sorted(missing)}"
+        )
+
+
+def test_all_is_sorted_and_resolvable():
+    declared = _declared_all()
+    assert declared == sorted(declared), "__all__ must stay sorted"
+    assert len(declared) == len(set(declared)), "__all__ has duplicates"
+    for name in declared:
+        assert hasattr(errors_module, name), f"__all__ names unknown {name!r}"
+
+
+def test_every_export_descends_from_the_root():
+    root = errors_module.ReproError
+    for name in errors_module.__all__:
+        cls = getattr(errors_module, name)
+        assert isinstance(cls, type) and issubclass(cls, Exception)
+        if name == "ReproError":
+            continue  # the root itself
+        assert issubclass(cls, root), f"{name} escapes the ReproError root"
